@@ -1,0 +1,100 @@
+//! Criterion micro-benchmark behind Table 1: the raw read/write asymmetry
+//! of the LSM engine versus the B+Tree baseline, on real files.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use diff_index_btree::BTree;
+use diff_index_lsm::{LsmOptions, LsmTree};
+use std::hint::black_box;
+use tempdir_lite::TempDir;
+
+const PRELOAD: u64 = 20_000;
+
+fn key(i: u64) -> String {
+    format!("user{:012}", i.wrapping_mul(0x9E3779B97F4A7C15) % 1_000_000_000_000)
+}
+
+fn lsm_engine(dir: &TempDir) -> LsmTree {
+    let lsm = LsmTree::open(
+        dir.path().join("lsm"),
+        LsmOptions { memtable_flush_bytes: 1 << 20, ..LsmOptions::default() },
+    )
+    .unwrap();
+    for i in 0..PRELOAD {
+        lsm.put(key(i), 1000 + i, format!("value-{i}")).unwrap();
+    }
+    lsm.flush().unwrap();
+    lsm
+}
+
+fn btree_engine(dir: &TempDir) -> BTree {
+    let bt = BTree::open(dir.path().join("bt.db"), 512).unwrap();
+    for i in 0..PRELOAD {
+        bt.insert(key(i).as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+    }
+    bt.sync().unwrap();
+    bt
+}
+
+fn bench_writes(c: &mut Criterion) {
+    let dir = TempDir::new("bench-asym").unwrap();
+    let lsm = lsm_engine(&dir);
+    let bt = btree_engine(&dir);
+    let mut group = c.benchmark_group("table1_write");
+    group.sample_size(20);
+    let mut i = PRELOAD;
+    group.bench_function("lsm_put_append_only", |b| {
+        b.iter(|| {
+            i += 1;
+            lsm.put(key(i % PRELOAD), 1_000_000 + i, "updated").unwrap();
+        })
+    });
+    let mut j = PRELOAD;
+    group.bench_function("btree_update_in_place", |b| {
+        b.iter(|| {
+            j += 1;
+            bt.insert(key(j % PRELOAD).as_bytes(), b"updated").unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let dir = TempDir::new("bench-asym").unwrap();
+    let lsm = lsm_engine(&dir);
+    let bt = btree_engine(&dir);
+    let mut group = c.benchmark_group("table1_read");
+    group.sample_size(20);
+    let mut i = 0u64;
+    group.bench_function("lsm_get", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(7919);
+            black_box(lsm.get_latest(key(i % PRELOAD).as_bytes()).unwrap());
+        })
+    });
+    let mut j = 0u64;
+    group.bench_function("btree_get", |b| {
+        b.iter(|| {
+            j = j.wrapping_add(7919);
+            black_box(bt.get(key(j % PRELOAD).as_bytes()).unwrap());
+        })
+    });
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let dir = TempDir::new("bench-asym").unwrap();
+    let lsm = lsm_engine(&dir);
+    let mut group = c.benchmark_group("table1_scan");
+    group.sample_size(20);
+    group.bench_function("lsm_scan_100", |b| {
+        b.iter_batched(
+            || (),
+            |_| black_box(lsm.scan(b"user", None, u64::MAX, 100).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_writes, bench_reads, bench_scan);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion micro-benchmark behind Figures 8/9: `getByIndex` cost per
+//! scheme on the real stack. sync-full and async read only the index table;
+//! sync-insert pays K base-table double checks (and more as the result set
+//! grows).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+use std::hint::black_box;
+use tempdir_lite::TempDir;
+
+/// Rows per distinct title (the K of Table 2).
+const K: u64 = 10;
+const TITLES: u64 = 50;
+
+fn setup(scheme: IndexScheme) -> (TempDir, DiffIndex) {
+    let dir = TempDir::new("bench-read").unwrap();
+    let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(IndexSpec::single("title", "item", "item_title", scheme), 2).unwrap();
+    di.create_index(IndexSpec::single("price", "item", "item_price", scheme), 2).unwrap();
+    for i in 0..TITLES * K {
+        cluster
+            .put(
+                "item",
+                format!("item{i:05}").as_bytes(),
+                &[
+                    (Bytes::from_static(b"item_title"), Bytes::from(format!("title{:03}", i % TITLES))),
+                    (Bytes::from_static(b"item_price"), Bytes::from(format!("{:06}", i * 7 % 10_000))),
+                ],
+            )
+            .unwrap();
+    }
+    di.quiesce("item");
+    // Warm the block cache, as the paper does before read experiments.
+    for t in 0..TITLES {
+        let _ = di.get_by_index("item", "title", format!("title{t:03}").as_bytes(), 100);
+    }
+    (dir, di)
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_exact_match_read");
+    group.sample_size(30);
+    for scheme in [IndexScheme::SyncFull, IndexScheme::SyncInsert, IndexScheme::AsyncSimple] {
+        let (_dir, di) = setup(scheme);
+        let mut t = 0u64;
+        group.bench_function(scheme.short_name(), |b| {
+            b.iter(|| {
+                t += 1;
+                black_box(
+                    di.get_by_index("item", "title", format!("title{:03}", t % TITLES).as_bytes(), 100)
+                        .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_range(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_range_read");
+    group.sample_size(20);
+    for scheme in [IndexScheme::SyncFull, IndexScheme::SyncInsert] {
+        let (_dir, di) = setup(scheme);
+        group.bench_function(format!("{}_range", scheme.short_name()), |b| {
+            b.iter(|| {
+                black_box(
+                    di.range_by_index("item", "price", b"000000", b"005000", true, 10_000)
+                        .unwrap(),
+                );
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact, bench_range);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmark behind Figure 7's low-load regime: the cost
+//! of one index-maintaining update per scheme, on the real cluster stack
+//! (real WAL, memtables, coprocessors). The expected ordering is
+//! `null < async ≈ null < insert < full`, i.e. Equations 1–2 of the paper.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+use tempdir_lite::TempDir;
+
+fn setup(scheme: Option<IndexScheme>) -> (TempDir, Cluster, Option<DiffIndex>) {
+    let dir = TempDir::new("bench-scheme").unwrap();
+    let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = scheme.map(|s| {
+        let di = DiffIndex::new(cluster.clone());
+        di.create_index(IndexSpec::single("title", "item", "item_title", s), 2).unwrap();
+        di
+    });
+    // Seed rows so every benched put is an update with an old index entry.
+    for i in 0..1000u64 {
+        cluster
+            .put(
+                "item",
+                format!("item{i:04}").as_bytes(),
+                &[(Bytes::from_static(b"item_title"), Bytes::from(format!("seed{i}")))],
+            )
+            .unwrap();
+    }
+    if let Some(di) = &di {
+        di.quiesce("item");
+    }
+    (dir, cluster, di)
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_low_load_update");
+    group.sample_size(30);
+    let cases: [(&str, Option<IndexScheme>); 4] = [
+        ("null", None),
+        ("sync_insert", Some(IndexScheme::SyncInsert)),
+        ("async_simple", Some(IndexScheme::AsyncSimple)),
+        ("sync_full", Some(IndexScheme::SyncFull)),
+    ];
+    for (name, scheme) in cases {
+        let (_dir, cluster, _di) = setup(scheme);
+        let mut i = 0u64;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i += 1;
+                cluster
+                    .put(
+                        "item",
+                        format!("item{:04}", i % 1000).as_bytes(),
+                        &[(
+                            Bytes::from_static(b"item_title"),
+                            Bytes::from(format!("v{i}")),
+                        )],
+                    )
+                    .unwrap();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

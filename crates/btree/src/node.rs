@@ -1,0 +1,194 @@
+//! B+Tree node layout and (de)serialization.
+//!
+//! Nodes are serialized into single pages. A leaf stores sorted
+//! `(key, value)` entries and a pointer to the next leaf (for range scans);
+//! an internal node stores separator keys and child page ids.
+
+use crate::pager::PAGE_SIZE;
+
+/// Upper bound on a node's serialized size, leaving slack for the header.
+pub const NODE_CAPACITY: usize = PAGE_SIZE - 16;
+
+/// A decoded B+Tree node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf node: sorted entries plus next-leaf link (0 = none).
+    Leaf {
+        /// Sorted `(key, value)` pairs.
+        entries: Vec<(Vec<u8>, Vec<u8>)>,
+        /// Page id of the next leaf, or 0.
+        next: u64,
+    },
+    /// Internal node: `children.len() == keys.len() + 1`; subtree
+    /// `children[i]` holds keys `< keys[i]`, `children[i+1]` holds `>= keys[i]`.
+    Internal {
+        /// Separator keys.
+        keys: Vec<Vec<u8>>,
+        /// Child page ids.
+        children: Vec<u64>,
+    },
+}
+
+fn put_var(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_var(buf: &[u8], off: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = *buf.get(*off)?;
+        *off += 1;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+fn put_slice(out: &mut Vec<u8>, s: &[u8]) {
+    put_var(out, s.len() as u64);
+    out.extend_from_slice(s);
+}
+
+fn get_slice(buf: &[u8], off: &mut usize) -> Option<Vec<u8>> {
+    let len = get_var(buf, off)? as usize;
+    let s = buf.get(*off..*off + len)?.to_vec();
+    *off += len;
+    Some(s)
+}
+
+impl Node {
+    /// Empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf { entries: Vec::new(), next: 0 }
+    }
+
+    /// Serialized byte size (must stay ≤ [`NODE_CAPACITY`] before writing).
+    pub fn serialized_size(&self) -> usize {
+        self.encode().len()
+    }
+
+    /// Encode into page bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256);
+        match self {
+            Node::Leaf { entries, next } => {
+                out.push(1u8);
+                put_var(&mut out, *next);
+                put_var(&mut out, entries.len() as u64);
+                for (k, v) in entries {
+                    put_slice(&mut out, k);
+                    put_slice(&mut out, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                out.push(2u8);
+                put_var(&mut out, keys.len() as u64);
+                for k in keys {
+                    put_slice(&mut out, k);
+                }
+                for c in children {
+                    put_var(&mut out, *c);
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode from page bytes.
+    pub fn decode(buf: &[u8]) -> Option<Self> {
+        match *buf.first()? {
+            1 => {
+                let mut off = 1usize;
+                let next = get_var(buf, &mut off)?;
+                let n = get_var(buf, &mut off)? as usize;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let k = get_slice(buf, &mut off)?;
+                    let v = get_slice(buf, &mut off)?;
+                    entries.push((k, v));
+                }
+                Some(Node::Leaf { entries, next })
+            }
+            2 => {
+                let mut off = 1usize;
+                let n = get_var(buf, &mut off)? as usize;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(get_slice(buf, &mut off)?);
+                }
+                let mut children = Vec::with_capacity(n + 1);
+                for _ in 0..n + 1 {
+                    children.push(get_var(buf, &mut off)?);
+                }
+                Some(Node::Internal { keys, children })
+            }
+            _ => None,
+        }
+    }
+
+    /// True if the node no longer fits a page and must split.
+    pub fn overflows(&self) -> bool {
+        self.serialized_size() > NODE_CAPACITY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let n = Node::Leaf {
+            entries: vec![(b"a".to_vec(), b"1".to_vec()), (b"bb".to_vec(), b"22".to_vec())],
+            next: 42,
+        };
+        assert_eq!(Node::decode(&n.encode()), Some(n));
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let n = Node::Internal {
+            keys: vec![b"m".to_vec()],
+            children: vec![3, 9],
+        };
+        assert_eq!(Node::decode(&n.encode()), Some(n));
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let n = Node::empty_leaf();
+        assert_eq!(Node::decode(&n.encode()), Some(n));
+    }
+
+    #[test]
+    fn decode_garbage_is_none() {
+        assert_eq!(Node::decode(&[]), None);
+        assert_eq!(Node::decode(&[7, 1, 2, 3]), None);
+        assert_eq!(Node::decode(&[1]), None, "truncated leaf");
+    }
+
+    #[test]
+    fn overflow_detection() {
+        let mut n = Node::Leaf { entries: Vec::new(), next: 0 };
+        if let Node::Leaf { entries, .. } = &mut n {
+            for i in 0..100 {
+                entries.push((format!("key-{i:04}").into_bytes(), vec![b'v'; 64]));
+            }
+        }
+        assert!(n.overflows());
+    }
+}

@@ -1,0 +1,405 @@
+//! The B+Tree proper: insert / update / get / delete / range scan.
+//!
+//! This is the paper's Table 1 baseline. The operational contrast with the
+//! LSM engine is deliberate and visible in the API:
+//!
+//! * [`BTree::insert`] **distinguishes insert from update** — it returns the
+//!   old value when the key already existed. An RDBMS therefore gets the old
+//!   index value "for free" during the base write, which is exactly why
+//!   Equation 1 loses its `L(RB)` term on B-Trees (§9, "B-tree vs. LSM").
+//! * Updates happen **in place**: the leaf page is rewritten where it is.
+//! * Deletes physically remove the entry (lazy structural rebalancing: pages
+//!   may underflow, which is fine for a baseline; keys remain findable and
+//!   scans remain correct).
+
+use crate::node::{Node, NODE_CAPACITY};
+use crate::pager::Pager;
+use parking_lot::Mutex;
+use std::io;
+use std::path::PathBuf;
+
+/// Meta page layout: magic (8) + root page id (8).
+const META_MAGIC: u64 = 0xB7EE_0001_CAFE_D00D;
+
+/// A paged on-disk B+Tree with in-place updates.
+pub struct BTree {
+    pager: Pager,
+    /// Root page id, kept in the meta page (page 0).
+    root: Mutex<u64>,
+}
+
+impl std::fmt::Debug for BTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BTree").field("pager", &self.pager).finish()
+    }
+}
+
+impl BTree {
+    /// Open (or create) a tree at `path` with a page cache of `cache_pages`.
+    pub fn open(path: impl Into<PathBuf>, cache_pages: usize) -> io::Result<Self> {
+        let pager = Pager::open(path, cache_pages)?;
+        let root = if pager.page_count() == 0 {
+            // Fresh file: page 0 = meta, page 1 = empty root leaf.
+            let meta = pager.allocate()?;
+            debug_assert_eq!(meta, 0);
+            let root = pager.allocate()?;
+            pager.write(root, &Node::empty_leaf().encode())?;
+            write_meta(&pager, root)?;
+            root
+        } else {
+            let meta = pager.read(0)?;
+            let magic = u64::from_le_bytes(meta[0..8].try_into().unwrap());
+            if magic != META_MAGIC {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "bad btree magic"));
+            }
+            u64::from_le_bytes(meta[8..16].try_into().unwrap())
+        };
+        Ok(Self { pager, root: Mutex::new(root) })
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let mut page = *self.root.lock();
+        loop {
+            match self.load(page)? {
+                Node::Leaf { entries, .. } => {
+                    return Ok(entries
+                        .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                        .ok()
+                        .map(|i| entries[i].1.clone()));
+                }
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= key);
+                    page = children[idx];
+                }
+            }
+        }
+    }
+
+    /// Insert or update. Returns the previous value if the key existed —
+    /// the "is this an insert or an update?" knowledge an LSM put lacks.
+    pub fn insert(&self, key: &[u8], value: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        assert!(
+            key.len() + value.len() + 64 < NODE_CAPACITY,
+            "entry too large for a page"
+        );
+        let mut root_guard = self.root.lock();
+        let (old, split) = self.insert_rec(*root_guard, key, value)?;
+        if let Some((sep, new_page)) = split {
+            let new_root_node =
+                Node::Internal { keys: vec![sep], children: vec![*root_guard, new_page] };
+            let new_root = self.pager.allocate()?;
+            self.pager.write(new_root, &new_root_node.encode())?;
+            write_meta(&self.pager, new_root)?;
+            *root_guard = new_root;
+        }
+        Ok(old)
+    }
+
+    fn insert_rec(
+        &self,
+        page: u64,
+        key: &[u8],
+        value: &[u8],
+    ) -> io::Result<(Option<Vec<u8>>, Option<(Vec<u8>, u64)>)> {
+        match self.load(page)? {
+            Node::Leaf { mut entries, next } => {
+                let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        // In-place update.
+                        let old = std::mem::replace(&mut entries[i].1, value.to_vec());
+                        Some(old)
+                    }
+                    Err(i) => {
+                        entries.insert(i, (key.to_vec(), value.to_vec()));
+                        None
+                    }
+                };
+                let node = Node::Leaf { entries, next };
+                if !node.overflows() {
+                    self.pager.write(page, &node.encode())?;
+                    return Ok((old, None));
+                }
+                // Split the leaf in half.
+                let Node::Leaf { mut entries, next } = node else { unreachable!() };
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_page = self.pager.allocate()?;
+                self.pager
+                    .write(right_page, &Node::Leaf { entries: right_entries, next }.encode())?;
+                self.pager.write(page, &Node::Leaf { entries, next: right_page }.encode())?;
+                Ok((old, Some((sep, right_page))))
+            }
+            Node::Internal { mut keys, mut children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                let (old, split) = self.insert_rec(children[idx], key, value)?;
+                if let Some((sep, new_page)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, new_page);
+                }
+                let node = Node::Internal { keys, children };
+                if !node.overflows() {
+                    self.pager.write(page, &node.encode())?;
+                    return Ok((old, None));
+                }
+                let Node::Internal { mut keys, mut children } = node else { unreachable!() };
+                let mid = keys.len() / 2;
+                let sep = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `sep` moves up, not into either half
+                let right_children = children.split_off(mid + 1);
+                let right_page = self.pager.allocate()?;
+                self.pager.write(
+                    right_page,
+                    &Node::Internal { keys: right_keys, children: right_children }.encode(),
+                )?;
+                self.pager.write(page, &Node::Internal { keys, children }.encode())?;
+                Ok((old, Some((sep, right_page))))
+            }
+        }
+    }
+
+    /// Remove a key, returning its value if present. Structural rebalancing
+    /// is lazy (pages may underflow); correctness of lookups and scans is
+    /// unaffected.
+    pub fn delete(&self, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        let root = *self.root.lock();
+        self.delete_rec(root, key)
+    }
+
+    fn delete_rec(&self, page: u64, key: &[u8]) -> io::Result<Option<Vec<u8>>> {
+        match self.load(page)? {
+            Node::Leaf { mut entries, next } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => {
+                        let (_, v) = entries.remove(i);
+                        self.pager.write(page, &Node::Leaf { entries, next }.encode())?;
+                        Ok(Some(v))
+                    }
+                    Err(_) => Ok(None),
+                }
+            }
+            Node::Internal { keys, children } => {
+                let idx = keys.partition_point(|k| k.as_slice() <= key);
+                self.delete_rec(children[idx], key)
+            }
+        }
+    }
+
+    /// Range scan over `[start, end)` (end `None` = unbounded), up to `limit`
+    /// entries, walking the leaf chain.
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        limit: usize,
+    ) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        let mut page = *self.root.lock();
+        // Descend to the leaf containing `start`.
+        loop {
+            match self.load(page)? {
+                Node::Internal { keys, children } => {
+                    let idx = keys.partition_point(|k| k.as_slice() <= start);
+                    page = children[idx];
+                }
+                Node::Leaf { .. } => break,
+            }
+        }
+        let mut out = Vec::new();
+        loop {
+            let Node::Leaf { entries, next } = self.load(page)? else {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "leaf chain broken"));
+            };
+            for (k, v) in entries {
+                if k.as_slice() < start {
+                    continue;
+                }
+                if let Some(e) = end {
+                    if k.as_slice() >= e {
+                        return Ok(out);
+                    }
+                }
+                out.push((k, v));
+                if out.len() >= limit {
+                    return Ok(out);
+                }
+            }
+            if next == 0 {
+                return Ok(out);
+            }
+            page = next;
+        }
+    }
+
+    /// Flush dirty pages and fsync.
+    pub fn sync(&self) -> io::Result<()> {
+        self.pager.sync()
+    }
+
+    /// Physical page reads that missed the cache.
+    pub fn disk_reads(&self) -> u64 {
+        self.pager.disk_reads()
+    }
+
+    /// Physical page writes.
+    pub fn disk_writes(&self) -> u64 {
+        self.pager.disk_writes()
+    }
+
+    /// Allocated page count.
+    pub fn page_count(&self) -> u64 {
+        self.pager.page_count()
+    }
+
+    fn load(&self, page: u64) -> io::Result<Node> {
+        let buf = self.pager.read(page)?;
+        Node::decode(&buf)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad node page {page}")))
+    }
+}
+
+fn write_meta(pager: &Pager, root: u64) -> io::Result<()> {
+    let mut meta = Vec::with_capacity(16);
+    meta.extend_from_slice(&META_MAGIC.to_le_bytes());
+    meta.extend_from_slice(&root.to_le_bytes());
+    pager.write(0, &meta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempdir_lite::TempDir;
+
+    fn open(dir: &TempDir) -> BTree {
+        BTree::open(dir.path().join("t.btree"), 256).unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        assert_eq!(t.insert(b"k1", b"v1").unwrap(), None);
+        assert_eq!(t.get(b"k1").unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(t.get(b"nope").unwrap(), None);
+    }
+
+    #[test]
+    fn update_returns_old_value() {
+        // The key behavioural difference from LSM put: the tree KNOWS this
+        // is an update and hands back the old value.
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        assert_eq!(t.insert(b"k", b"old").unwrap(), None);
+        assert_eq!(t.insert(b"k", b"new").unwrap(), Some(b"old".to_vec()));
+        assert_eq!(t.get(b"k").unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn many_inserts_split_pages() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        let n = 5000;
+        for i in 0..n {
+            t.insert(format!("key{i:06}").as_bytes(), format!("value-{i}").as_bytes()).unwrap();
+        }
+        assert!(t.page_count() > 10, "tree must have split into many pages");
+        for i in (0..n).step_by(97) {
+            assert_eq!(
+                t.get(format!("key{i:06}").as_bytes()).unwrap(),
+                Some(format!("value-{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn random_order_inserts_are_sorted_in_scan() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        let mut keys: Vec<u32> = (0..2000).collect();
+        // Deterministic shuffle.
+        let mut state = 12345u64;
+        for i in (1..keys.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            keys.swap(i, j);
+        }
+        for k in &keys {
+            t.insert(format!("k{k:06}").as_bytes(), b"v").unwrap();
+        }
+        let all = t.scan(b"", None, usize::MAX).unwrap();
+        assert_eq!(all.len(), 2000);
+        for w in all.windows(2) {
+            assert!(w[0].0 < w[1].0, "scan output must be sorted");
+        }
+    }
+
+    #[test]
+    fn scan_bounds_and_limit() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        for i in 0..100 {
+            t.insert(format!("k{i:03}").as_bytes(), b"v").unwrap();
+        }
+        let mid = t.scan(b"k010", Some(b"k020"), usize::MAX).unwrap();
+        assert_eq!(mid.len(), 10);
+        assert_eq!(mid[0].0, b"k010".to_vec());
+        let lim = t.scan(b"k000", None, 5).unwrap();
+        assert_eq!(lim.len(), 5);
+    }
+
+    #[test]
+    fn delete_removes_entry() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        t.insert(b"a", b"1").unwrap();
+        t.insert(b"b", b"2").unwrap();
+        assert_eq!(t.delete(b"a").unwrap(), Some(b"1".to_vec()));
+        assert_eq!(t.delete(b"a").unwrap(), None);
+        assert_eq!(t.get(b"a").unwrap(), None);
+        assert_eq!(t.get(b"b").unwrap(), Some(b"2".to_vec()));
+        assert_eq!(t.scan(b"", None, usize::MAX).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let dir = TempDir::new("bt").unwrap();
+        let path = dir.path().join("t.btree");
+        {
+            let t = BTree::open(&path, 64).unwrap();
+            for i in 0..500 {
+                t.insert(format!("k{i:04}").as_bytes(), format!("v{i}").as_bytes()).unwrap();
+            }
+            t.sync().unwrap();
+        }
+        let t = BTree::open(&path, 64).unwrap();
+        for i in (0..500).step_by(31) {
+            assert_eq!(
+                t.get(format!("k{i:04}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_cache_forces_real_io_but_stays_correct() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = BTree::open(dir.path().join("t.btree"), 8).unwrap();
+        for i in 0..3000 {
+            t.insert(format!("key{i:06}").as_bytes(), vec![b'x'; 32].as_slice()).unwrap();
+        }
+        assert!(t.disk_writes() > 0, "evictions must have hit disk");
+        for i in (0..3000).step_by(211) {
+            assert!(t.get(format!("key{i:06}").as_bytes()).unwrap().is_some());
+        }
+        assert!(t.disk_reads() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "entry too large")]
+    fn oversized_entry_panics() {
+        let dir = TempDir::new("bt").unwrap();
+        let t = open(&dir);
+        t.insert(b"k", &vec![0u8; 5000]).unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! Coprocessor-style observers.
+//!
+//! HBase coprocessors let code run server-side around table operations
+//! without touching core code — Diff-Index is implemented as three such
+//! observers (§7, Figure 6). Our in-process cluster mirrors the hook surface
+//! Diff-Index needs: post-put, post-delete, pre/post-flush (for the
+//! drain-AUQ-before-flush protocol) and post-replay (to re-enqueue restored
+//! base puts during recovery, §5.3).
+
+use crate::cluster::Cluster;
+use crate::error::Result;
+use bytes::Bytes;
+
+/// A column write: `(column name, value)`.
+pub type ColumnValue = (Bytes, Bytes);
+
+/// Server-side observer attached to a table.
+///
+/// All hooks receive a [`Cluster`] handle so they can issue further
+/// operations (e.g. write index tables hosted on other servers), exactly as
+/// an HBase coprocessor uses an `HTable` client internally.
+pub trait TableObserver: Send + Sync {
+    /// Called after a client put has been applied (WAL + memtable) to the
+    /// base table, with the server-assigned timestamp.
+    fn post_put(
+        &self,
+        cluster: &Cluster,
+        table: &str,
+        row: &[u8],
+        columns: &[ColumnValue],
+        ts: u64,
+    ) -> Result<()>;
+
+    /// Called after a client delete has been applied to the base table.
+    fn post_delete(
+        &self,
+        cluster: &Cluster,
+        table: &str,
+        row: &[u8],
+        columns: &[Bytes],
+        ts: u64,
+    ) -> Result<()>;
+
+    /// Called immediately before a region of `table` flushes its memtable.
+    /// Diff-Index pauses and drains the AUQ here (Figure 5, "1. pause &
+    /// drain") so that `PR(Flushed) = ∅` always holds.
+    fn pre_flush(&self, cluster: &Cluster, table: &str) {
+        let _ = (cluster, table);
+    }
+
+    /// Called after the flush (and WAL roll-forward) completes; Diff-Index
+    /// resumes AUQ intake here.
+    fn post_flush(&self, cluster: &Cluster, table: &str) {
+        let _ = (cluster, table);
+    }
+
+    /// Called for every base operation restored by WAL replay during region
+    /// recovery. Diff-Index re-enqueues each into the AUQ regardless of
+    /// whether it was delivered before the failure — correct because index
+    /// entries carry their base entry's timestamp, making re-delivery
+    /// idempotent (§5.3).
+    fn post_replay(&self, cluster: &Cluster, table: &str, op: &ReplayedOp) -> Result<()> {
+        let _ = (cluster, table, op);
+        Ok(())
+    }
+}
+
+/// One base-table operation reconstructed from the WAL during recovery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayedOp {
+    /// A restored put.
+    Put {
+        /// Base row key.
+        row: Vec<u8>,
+        /// Column name.
+        column: Vec<u8>,
+        /// Value written.
+        value: Bytes,
+        /// Original server-assigned timestamp.
+        ts: u64,
+    },
+    /// A restored delete (tombstone).
+    Delete {
+        /// Base row key.
+        row: Vec<u8>,
+        /// Column name.
+        column: Vec<u8>,
+        /// Original server-assigned timestamp.
+        ts: u64,
+    },
+}
+
+impl ReplayedOp {
+    /// The timestamp of the restored operation.
+    pub fn ts(&self) -> u64 {
+        match self {
+            ReplayedOp::Put { ts, .. } | ReplayedOp::Delete { ts, .. } => *ts,
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Cluster-level error type.
+
+use diff_index_lsm::LsmError;
+use std::fmt;
+
+/// Errors from cluster operations.
+#[derive(Debug)]
+pub enum ClusterError {
+    /// Underlying storage engine failure.
+    Storage(LsmError),
+    /// The named table does not exist.
+    NoSuchTable(String),
+    /// The region server hosting the target region is down and its regions
+    /// have not been reassigned yet (call `Cluster::recover`).
+    ServerDown(u32),
+    /// Generic unavailability (e.g. operating on a crashed cluster).
+    Unavailable(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Storage(e) => write!(f, "storage: {e}"),
+            ClusterError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            ClusterError::ServerDown(s) => write!(f, "region server {s} is down"),
+            ClusterError::Unavailable(m) => write!(f, "unavailable: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LsmError> for ClusterError {
+    fn from(e: LsmError) -> Self {
+        ClusterError::Storage(e)
+    }
+}
+
+/// Result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, ClusterError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ClusterError::NoSuchTable("t".into()).to_string().contains("t"));
+        assert!(ClusterError::ServerDown(3).to_string().contains('3'));
+        assert!(ClusterError::Unavailable("x".into()).to_string().contains('x'));
+        let e = ClusterError::from(LsmError::Corruption("c".into()));
+        assert!(e.to_string().contains("c"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

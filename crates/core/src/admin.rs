@@ -1,0 +1,241 @@
+//! The `DiffIndex` facade: index creation (with backfill), maintenance,
+//! lookup, and session handout — the role of the client-side "utility for
+//! index creation, maintenance and cleanse" plus the `getByIndex` API of §7.
+
+use crate::error::{IndexError, Result};
+use crate::observers::{AsyncObserver, SyncFullObserver, SyncInsertObserver};
+use crate::read::{self, IndexHit};
+use crate::session::{Session, SessionConfig};
+use crate::spec::{IndexScheme, IndexSpec};
+use crate::{auq::Auq, encoding::index_row};
+use bytes::Bytes;
+use diff_index_cluster::Cluster;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One installed index: its spec, the AUQ behind it (every scheme has one —
+/// async schemes for all updates, sync schemes for failure retries), and the
+/// observer registration token.
+pub struct IndexHandle {
+    /// The index definition.
+    pub spec: Arc<IndexSpec>,
+    /// Its asynchronous update queue.
+    pub auq: Arc<Auq>,
+    observer_token: u64,
+}
+
+impl std::fmt::Debug for IndexHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IndexHandle").field("spec", &self.spec).finish()
+    }
+}
+
+struct Inner {
+    cluster: Cluster,
+    /// base table -> handles.
+    indexes: RwLock<HashMap<String, Vec<Arc<IndexHandle>>>>,
+    session_config: SessionConfig,
+}
+
+/// Entry point for Diff-Index. Cheap to clone.
+#[derive(Clone)]
+pub struct DiffIndex {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for DiffIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiffIndex").finish()
+    }
+}
+
+impl DiffIndex {
+    /// Wrap a cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        Self::with_session_config(cluster, SessionConfig::default())
+    }
+
+    /// Wrap a cluster with custom session limits.
+    pub fn with_session_config(cluster: Cluster, session_config: SessionConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                cluster,
+                indexes: RwLock::new(HashMap::new()),
+                session_config,
+            }),
+        }
+    }
+
+    /// The wrapped cluster (for base-table CRUD).
+    pub fn cluster(&self) -> &Cluster {
+        &self.inner.cluster
+    }
+
+    /// `CREATE INDEX`: create the (global, key-only) index table with
+    /// `num_regions` regions, attach the scheme's observer to the base
+    /// table, and backfill entries for pre-existing base rows.
+    pub fn create_index(&self, spec: IndexSpec, num_regions: usize) -> Result<Arc<IndexHandle>> {
+        let cluster = &self.inner.cluster;
+        if !cluster.has_table(&spec.base_table) {
+            return Err(IndexError::Cluster(
+                diff_index_cluster::ClusterError::NoSuchTable(spec.base_table.clone()),
+            ));
+        }
+        {
+            let indexes = self.inner.indexes.read();
+            if let Some(list) = indexes.get(&spec.base_table) {
+                if list.iter().any(|h| h.spec.name == spec.name) {
+                    return Err(IndexError::IndexExists(spec.name));
+                }
+            }
+        }
+        let spec = Arc::new(spec);
+        cluster.create_table(&spec.index_table(), num_regions)?;
+
+        // Register the observer BEFORE backfilling so concurrent writes are
+        // not missed; backfill re-writing an entry the observer already
+        // wrote is idempotent (same timestamp).
+        let (observer_token, auq) = match spec.scheme {
+            IndexScheme::SyncFull => {
+                let obs = Arc::new(SyncFullObserver::new(cluster, Arc::clone(&spec)));
+                let auq = Arc::clone(obs.auq());
+                (cluster.register_observer(&spec.base_table, obs)?, auq)
+            }
+            IndexScheme::SyncInsert => {
+                let obs = Arc::new(SyncInsertObserver::new(cluster, Arc::clone(&spec)));
+                let auq = Arc::clone(obs.auq());
+                (cluster.register_observer(&spec.base_table, obs)?, auq)
+            }
+            IndexScheme::AsyncSimple | IndexScheme::AsyncSession => {
+                let obs = Arc::new(AsyncObserver::new(cluster, Arc::clone(&spec)));
+                let auq = Arc::clone(obs.auq());
+                (cluster.register_observer(&spec.base_table, obs)?, auq)
+            }
+        };
+
+        self.backfill(&spec)?;
+
+        let handle = Arc::new(IndexHandle { spec: Arc::clone(&spec), auq, observer_token });
+        self.inner
+            .indexes
+            .write()
+            .entry(spec.base_table.clone())
+            .or_default()
+            .push(Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Build index entries for rows that existed before the index did.
+    fn backfill(&self, spec: &IndexSpec) -> Result<()> {
+        let cluster = &self.inner.cluster;
+        let index_table = spec.index_table();
+        let rows = cluster.scan_rows(&spec.base_table, b"", None, u64::MAX, usize::MAX)?;
+        for (row, cols) in rows {
+            let mut values = Vec::with_capacity(spec.columns.len());
+            let mut entry_ts = 0u64;
+            for ic in &spec.columns {
+                match cols.iter().find(|(c, _)| c == ic) {
+                    Some((_, v)) => {
+                        values.push(v.value.clone());
+                        entry_ts = entry_ts.max(v.ts);
+                    }
+                    None => {
+                        values.clear();
+                        break;
+                    }
+                }
+            }
+            if values.len() == spec.columns.len() {
+                let key = index_row(&values, &row);
+                cluster.raw_put(&index_table, &key, &[(Bytes::new(), Bytes::new())], entry_ts)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `DROP INDEX`: detach the observer and forget the index. (The index
+    /// table's files are left for the operator to remove, as HBase does.)
+    pub fn drop_index(&self, base_table: &str, name: &str) -> Result<()> {
+        let mut indexes = self.inner.indexes.write();
+        let list = indexes
+            .get_mut(base_table)
+            .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))?;
+        let pos = list
+            .iter()
+            .position(|h| h.spec.name == name)
+            .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))?;
+        let handle = list.remove(pos);
+        self.inner.cluster.unregister_observer(base_table, handle.observer_token)?;
+        handle.auq.shutdown();
+        Ok(())
+    }
+
+    /// Look up an index handle.
+    pub fn index(&self, base_table: &str, name: &str) -> Result<Arc<IndexHandle>> {
+        self.inner
+            .indexes
+            .read()
+            .get(base_table)
+            .and_then(|l| l.iter().find(|h| h.spec.name == name).cloned())
+            .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))
+    }
+
+    /// All indexes on `base_table`.
+    pub fn indexes_of(&self, base_table: &str) -> Vec<Arc<IndexHandle>> {
+        self.inner.indexes.read().get(base_table).cloned().unwrap_or_default()
+    }
+
+    /// `getByIndex`, exact match: base rows whose indexed column equals
+    /// `value`, under the index's scheme-specific read semantics.
+    pub fn get_by_index(
+        &self,
+        base_table: &str,
+        index_name: &str,
+        value: &[u8],
+        limit: usize,
+    ) -> Result<Vec<IndexHit>> {
+        let handle = self.index(base_table, index_name)?;
+        read::read_exact(&self.inner.cluster, &handle.spec, value, limit)
+    }
+
+    /// `getByIndex`, range variant over the indexed column (Figure 9).
+    pub fn range_by_index(
+        &self,
+        base_table: &str,
+        index_name: &str,
+        lo: &[u8],
+        hi: &[u8],
+        inclusive: bool,
+        limit: usize,
+    ) -> Result<Vec<IndexHit>> {
+        let handle = self.index(base_table, index_name)?;
+        read::read_range(&self.inner.cluster, &handle.spec, lo, hi, inclusive, limit)
+    }
+
+    /// Fetch full base rows for previously returned hits.
+    pub fn fetch_rows(
+        &self,
+        base_table: &str,
+        index_name: &str,
+        hits: &[IndexHit],
+    ) -> Result<Vec<(Bytes, Vec<(Bytes, diff_index_lsm::VersionedValue)>)>> {
+        let handle = self.index(base_table, index_name)?;
+        read::fetch_rows(&self.inner.cluster, &handle.spec, hits)
+    }
+
+    /// `get_session()` (§5.2): a client session with read-your-writes
+    /// semantics over `async-session` indexes.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone(), self.inner.session_config.clone())
+    }
+
+    /// Block until every AUQ of every index on `base_table` is empty —
+    /// i.e. the indexes have caught up with the base (test/bench helper; a
+    /// real deployment would just wait).
+    pub fn quiesce(&self, base_table: &str) {
+        for h in self.indexes_of(base_table) {
+            h.auq.wait_idle();
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Scheme selection advisor.
+//!
+//! §3.4 ends with: *"Ideally Diff-Index should be able to adaptively choose
+//! a scheme by understanding consistency requirements and observing
+//! workload characteristics such as read/write ratio. Currently user
+//! selection is required and we leave adaptive scheme selection for future
+//! work."* — this module implements that future work: the five selection
+//! principles of §3.4 codified over observed workload statistics.
+
+use crate::spec::IndexScheme;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Application requirements for one index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Requirements {
+    /// The application needs the index to reflect every acknowledged write
+    /// (principles 1–3 apply; async schemes are out).
+    pub needs_consistency: bool,
+    /// The application needs read-your-writes within a client session
+    /// (principle 5).
+    pub needs_read_your_writes: bool,
+}
+
+/// Live workload counters, fed by the application or by instrumentation.
+#[derive(Debug, Default)]
+pub struct WorkloadStats {
+    /// Index updates observed.
+    pub updates: AtomicU64,
+    /// Index reads observed.
+    pub reads: AtomicU64,
+}
+
+impl WorkloadStats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` updates.
+    pub fn record_updates(&self, n: u64) {
+        self.updates.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` index reads.
+    pub fn record_reads(&self, n: u64) {
+        self.reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fraction of operations that are updates (0.5 when no data).
+    pub fn update_fraction(&self) -> f64 {
+        let u = self.updates.load(Ordering::Relaxed) as f64;
+        let r = self.reads.load(Ordering::Relaxed) as f64;
+        if u + r == 0.0 {
+            0.5
+        } else {
+            u / (u + r)
+        }
+    }
+}
+
+/// A recommendation with its §3.4 rationale.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recommendation {
+    /// The recommended scheme.
+    pub scheme: IndexScheme,
+    /// Which §3.4 principle drove the choice.
+    pub principle: &'static str,
+}
+
+/// Apply the §3.4 principles to the observed workload:
+///
+/// 1. use `sync-full` or `sync-insert` when consistency is needed;
+/// 2. use `sync-full` when read latency is critical;
+/// 3. use `sync-insert` when update latency is critical;
+/// 4. use `async-simple` when consistency is not a concern;
+/// 5. use `async-session` when read-your-write semantics is needed.
+///
+/// "Critical" is inferred from the read/write ratio: a write-heavy workload
+/// makes update latency critical, a read-heavy one read latency.
+pub fn recommend(req: Requirements, stats: &WorkloadStats) -> Recommendation {
+    if req.needs_read_your_writes && !req.needs_consistency {
+        return Recommendation {
+            scheme: IndexScheme::AsyncSession,
+            principle: "(5) read-your-write semantics is needed",
+        };
+    }
+    if !req.needs_consistency {
+        return Recommendation {
+            scheme: IndexScheme::AsyncSimple,
+            principle: "(4) consistency is not a concern",
+        };
+    }
+    // Consistency needed: choose between the synchronous schemes (1).
+    if stats.update_fraction() >= 0.5 {
+        Recommendation {
+            scheme: IndexScheme::SyncInsert,
+            principle: "(3) update latency is critical (write-heavy workload)",
+        }
+    } else {
+        Recommendation {
+            scheme: IndexScheme::SyncFull,
+            principle: "(2) read latency is critical (read-heavy workload)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(updates: u64, reads: u64) -> WorkloadStats {
+        let s = WorkloadStats::new();
+        s.record_updates(updates);
+        s.record_reads(reads);
+        s
+    }
+
+    #[test]
+    fn session_semantics_wins_when_requested() {
+        let r = recommend(
+            Requirements { needs_consistency: false, needs_read_your_writes: true },
+            &stats(0, 0),
+        );
+        assert_eq!(r.scheme, IndexScheme::AsyncSession);
+    }
+
+    #[test]
+    fn no_consistency_means_async_simple() {
+        let r = recommend(
+            Requirements { needs_consistency: false, needs_read_your_writes: false },
+            &stats(1000, 1000),
+        );
+        assert_eq!(r.scheme, IndexScheme::AsyncSimple);
+    }
+
+    #[test]
+    fn write_heavy_consistent_workload_gets_sync_insert() {
+        let r = recommend(
+            Requirements { needs_consistency: true, needs_read_your_writes: false },
+            &stats(9000, 1000),
+        );
+        assert_eq!(r.scheme, IndexScheme::SyncInsert);
+        assert!(r.principle.contains("update latency"));
+    }
+
+    #[test]
+    fn read_heavy_consistent_workload_gets_sync_full() {
+        let r = recommend(
+            Requirements { needs_consistency: true, needs_read_your_writes: false },
+            &stats(100, 9900),
+        );
+        assert_eq!(r.scheme, IndexScheme::SyncFull);
+        assert!(r.principle.contains("read latency"));
+    }
+
+    #[test]
+    fn consistency_plus_session_prefers_sync() {
+        // Read-your-writes is implied by causal consistency; the stronger
+        // requirement dominates.
+        let r = recommend(
+            Requirements { needs_consistency: true, needs_read_your_writes: true },
+            &stats(100, 100),
+        );
+        assert!(matches!(r.scheme, IndexScheme::SyncFull | IndexScheme::SyncInsert));
+    }
+
+    #[test]
+    fn empty_stats_default_is_sane() {
+        let s = WorkloadStats::new();
+        assert_eq!(s.update_fraction(), 0.5);
+        let r = recommend(
+            Requirements { needs_consistency: true, needs_read_your_writes: false },
+            &s,
+        );
+        assert_eq!(r.scheme, IndexScheme::SyncInsert, "ties lean write-optimized (LSM)");
+    }
+
+    #[test]
+    fn recommendation_shifts_as_workload_shifts() {
+        let s = stats(10, 1000);
+        let before = recommend(
+            Requirements { needs_consistency: true, needs_read_your_writes: false },
+            &s,
+        );
+        assert_eq!(before.scheme, IndexScheme::SyncFull);
+        s.record_updates(100_000);
+        let after = recommend(
+            Requirements { needs_consistency: true, needs_read_your_writes: false },
+            &s,
+        );
+        assert_eq!(after.scheme, IndexScheme::SyncInsert);
+    }
+}

@@ -1,0 +1,564 @@
+//! The Asynchronous Update Queue (AUQ) and its Asynchronous Processing
+//! Service (APS) — §5.1 and §5.3 of the paper.
+//!
+//! * `async-simple` / `async-session` enqueue *all* index maintenance here
+//!   and acknowledge the client immediately (Algorithm 3); the APS worker
+//!   drains the queue in the background (Algorithm 4).
+//! * The synchronous schemes enqueue *failed* index operations here, which
+//!   is how causal consistency degrades gracefully to eventual instead of
+//!   rolling back the base put (§6.2, Atomicity/Durability).
+//! * Failure recovery (Figure 5): `pause()` blocks new enqueues, the queue
+//!   is drained before the base memtable flushes (so `PR(Flushed) = ∅`),
+//!   then `resume()` reopens intake after the WAL rolls forward. During WAL
+//!   replay every restored base put is re-enqueued; re-delivery is
+//!   idempotent because index entries carry their base entry's timestamp.
+
+use crate::encoding::index_row;
+use crate::spec::IndexSpec;
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ColumnValue, WeakCluster};
+use diff_index_lsm::DELTA;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Upper bound on re-delivery attempts for a failing task. The paper retries
+/// "until eventually success"; a bound keeps a permanently broken cluster
+/// from spinning forever, and is generous enough to survive any transient
+/// unavailability window (e.g. a crashed server awaiting recovery).
+const MAX_RETRIES: u32 = 64;
+
+/// One unit of deferred index work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexTask {
+    /// Full asynchronous maintenance for one observed base operation
+    /// (Algorithm 4: `RB`, `DI`, `PI`). Carries the written columns, as the
+    /// paper's AUQ carries the put `⟨k, vnew, tnew⟩` itself — the new value
+    /// does not need a second base read.
+    Maintain {
+        /// Base row that was written.
+        row: Bytes,
+        /// Timestamp of the base operation.
+        ts: u64,
+        /// True if the base operation was a delete.
+        is_delete: bool,
+        /// The columns the observed put wrote (empty for deletes).
+        put_columns: Vec<ColumnValue>,
+    },
+    /// Retry of a failed synchronous index insert (`PI`).
+    PutIndex {
+        /// Fully built index row key.
+        index_row: Bytes,
+        /// Timestamp to write with (== base entry timestamp).
+        ts: u64,
+    },
+    /// Retry of a failed synchronous index delete (`DI`).
+    DeleteIndex {
+        /// Fully built index row key.
+        index_row: Bytes,
+        /// Timestamp to delete at.
+        ts: u64,
+    },
+}
+
+struct State {
+    queue: VecDeque<(IndexTask, u32)>,
+    paused: bool,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+/// Cumulative AUQ counters plus staleness (index-after-data time-lag)
+/// statistics, the measurement behind Figure 11.
+#[derive(Debug, Default)]
+pub struct AuqMetrics {
+    /// Tasks accepted into the queue.
+    pub enqueued: AtomicU64,
+    /// Tasks completed successfully.
+    pub completed: AtomicU64,
+    /// Execution failures that led to a retry.
+    pub retries: AtomicU64,
+    /// Tasks dropped after exhausting retries.
+    pub dropped: AtomicU64,
+    /// Sum of (completion wall time − base timestamp) in ms.
+    pub lag_sum_ms: AtomicU64,
+    /// Maximum observed lag in ms.
+    pub lag_max_ms: AtomicU64,
+}
+
+impl AuqMetrics {
+    fn record_lag(&self, lag_ms: u64) {
+        self.lag_sum_ms.fetch_add(lag_ms, Ordering::Relaxed);
+        self.lag_max_ms.fetch_max(lag_ms, Ordering::Relaxed);
+    }
+
+    /// Mean index-after-data lag over completed `Maintain` tasks, in ms.
+    pub fn mean_lag_ms(&self) -> f64 {
+        let n = self.completed.load(Ordering::Relaxed);
+        if n == 0 {
+            return 0.0;
+        }
+        self.lag_sum_ms.load(Ordering::Relaxed) as f64 / n as f64
+    }
+}
+
+/// The queue plus its background worker, bound to one index.
+pub struct Auq {
+    state: Mutex<State>,
+    cv: Condvar,
+    cluster: WeakCluster,
+    spec: Arc<IndexSpec>,
+    metrics: Arc<AuqMetrics>,
+}
+
+impl std::fmt::Debug for Auq {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("Auq")
+            .field("index", &self.spec.name)
+            .field("queued", &s.queue.len())
+            .field("paused", &s.paused)
+            .finish()
+    }
+}
+
+impl Auq {
+    /// Create the queue and start its APS worker thread.
+    pub fn start(cluster: WeakCluster, spec: Arc<IndexSpec>) -> Arc<Self> {
+        let auq = Arc::new(Self {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                paused: false,
+                in_flight: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cluster,
+            spec,
+            metrics: Arc::new(AuqMetrics::default()),
+        });
+        let worker = Arc::clone(&auq);
+        std::thread::Builder::new()
+            .name(format!("aps-{}", worker.spec.name))
+            .spawn(move || worker.aps_loop())
+            .expect("spawn APS worker");
+        auq
+    }
+
+    /// Counters and staleness statistics.
+    pub fn metrics(&self) -> &Arc<AuqMetrics> {
+        &self.metrics
+    }
+
+    /// Add a task. Blocks while the queue is paused for a flush drain —
+    /// the paper's "block the AUQ from receiving new entries" (§5.3).
+    pub fn enqueue(&self, task: IndexTask) {
+        let mut s = self.state.lock();
+        while s.paused && !s.shutdown {
+            self.cv.wait(&mut s);
+        }
+        if s.shutdown {
+            return;
+        }
+        s.queue.push_back((task, 0));
+        self.metrics.enqueued.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Pause intake and wait until every queued and in-flight task has been
+    /// executed (Figure 5, "1. pause & drain"). The caller must later call
+    /// [`Auq::resume`].
+    pub fn pause_and_drain(&self) {
+        let mut s = self.state.lock();
+        s.paused = true;
+        self.cv.notify_all();
+        while !s.queue.is_empty() || s.in_flight > 0 {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Reopen intake after a flush (Figure 5 step 4).
+    pub fn resume(&self) {
+        let mut s = self.state.lock();
+        s.paused = false;
+        self.cv.notify_all();
+    }
+
+    /// Convenience for tests: wait until the queue is empty without pausing
+    /// intake permanently.
+    pub fn wait_idle(&self) {
+        let mut s = self.state.lock();
+        while !s.queue.is_empty() || s.in_flight > 0 {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Number of tasks waiting (not counting one being executed).
+    pub fn depth(&self) -> usize {
+        self.state.lock().queue.len()
+    }
+
+    /// Stop the worker (remaining tasks are abandoned). Called on drop of
+    /// the owning observer.
+    pub fn shutdown(&self) {
+        let mut s = self.state.lock();
+        s.shutdown = true;
+        self.cv.notify_all();
+    }
+
+    fn aps_loop(&self) {
+        loop {
+            let task = {
+                let mut s = self.state.lock();
+                loop {
+                    if s.shutdown {
+                        return;
+                    }
+                    if let Some(t) = s.queue.pop_front() {
+                        s.in_flight += 1;
+                        break t;
+                    }
+                    // Nothing to do; also wake periodically so a cluster
+                    // that has gone away lets us exit.
+                    self.cv.wait_for(&mut s, Duration::from_millis(100));
+                }
+            };
+            let (task, attempts) = task;
+            let outcome = match self.cluster.upgrade() {
+                Some(cluster) => self.execute(&cluster, &task),
+                None => {
+                    // Cluster is gone; nothing will ever succeed again.
+                    let mut s = self.state.lock();
+                    s.in_flight -= 1;
+                    s.shutdown = true;
+                    self.cv.notify_all();
+                    return;
+                }
+            };
+            let mut s = self.state.lock();
+            s.in_flight -= 1;
+            match outcome {
+                Ok(()) => {
+                    self.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                    if let IndexTask::Maintain { ts, .. } = &task {
+                        let lag = wall_ms().saturating_sub(*ts);
+                        self.metrics.record_lag(lag);
+                    }
+                }
+                Err(_) if attempts + 1 < MAX_RETRIES => {
+                    self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    s.queue.push_back((task, attempts + 1));
+                    // Back off before the next attempt so a transiently
+                    // unavailable region (crashed server awaiting master
+                    // recovery) gets time to come back. Capped so that a
+                    // drain waiting on a doomed task is bounded.
+                    let backoff = Duration::from_millis(
+                        (5u64 << attempts.min(5)).min(150),
+                    );
+                    drop(s);
+                    std::thread::sleep(backoff);
+                    self.cv.notify_all();
+                    continue;
+                }
+                Err(_) => {
+                    self.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            self.cv.notify_all();
+        }
+    }
+
+    /// Execute one task against the cluster. `Maintain` is Algorithm 4:
+    /// BA2 read the pre-image, BA3 delete the old index entry, BA4 insert
+    /// the new one.
+    fn execute(&self, cluster: &Cluster, task: &IndexTask) -> crate::error::Result<()> {
+        let spec = &self.spec;
+        let index_table = spec.index_table();
+        match task {
+            IndexTask::Maintain { row, ts, is_delete, put_columns } => {
+                // BA2: value of the indexed columns right before this op.
+                let old = read_index_values(cluster, spec, row, ts - DELTA)?;
+                // New state: the values carried by the task, plus (for a
+                // composite index only) stored values of columns the put
+                // did not touch.
+                let new = if *is_delete {
+                    None
+                } else {
+                    new_index_values(cluster, spec, row, put_columns, *ts)?
+                };
+                // BA3: delete the old entry (unless the value is unchanged).
+                if let Some(old_vals) = &old {
+                    if new.as_ref() != Some(old_vals) {
+                        let old_key = index_row(old_vals, row);
+                        cluster.raw_delete(
+                            &index_table,
+                            &old_key,
+                            &[Bytes::new()],
+                            ts - DELTA,
+                        )?;
+                    }
+                }
+                // BA4: insert the new entry.
+                if let Some(new_vals) = &new {
+                    let new_key = index_row(new_vals, row);
+                    cluster.raw_put(
+                        &index_table,
+                        &new_key,
+                        &[(Bytes::new(), Bytes::new())],
+                        *ts,
+                    )?;
+                }
+                Ok(())
+            }
+            IndexTask::PutIndex { index_row, ts } => {
+                cluster.raw_put(&index_table, index_row, &[(Bytes::new(), Bytes::new())], *ts)?;
+                Ok(())
+            }
+            IndexTask::DeleteIndex { index_row, ts } => {
+                cluster.raw_delete(&index_table, index_row, &[Bytes::new()], *ts)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for Auq {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Compute the index values of `row` *after* a put that wrote
+/// `put_columns` at `ts`: written columns come from the put itself, the
+/// rest (composite indexes) from a snapshot read. `None` if the row is not
+/// fully indexed afterwards.
+pub fn new_index_values(
+    cluster: &Cluster,
+    spec: &IndexSpec,
+    row: &[u8],
+    put_columns: &[ColumnValue],
+    ts: u64,
+) -> crate::error::Result<Option<Vec<Bytes>>> {
+    let mut vals = Vec::with_capacity(spec.columns.len());
+    for col in &spec.columns {
+        if let Some((_, v)) = put_columns.iter().find(|(c, _)| c == col) {
+            vals.push(v.clone());
+        } else {
+            match cluster.get(&spec.base_table, row, col, ts)? {
+                Some(v) => vals.push(v.value),
+                None => return Ok(None),
+            }
+        }
+    }
+    Ok(Some(vals))
+}
+
+/// Read the values of every indexed column of `row` as of snapshot `ts`.
+/// Returns `None` unless ALL indexed columns are present (a partially
+/// populated row is not indexed).
+pub fn read_index_values(
+    cluster: &Cluster,
+    spec: &IndexSpec,
+    row: &[u8],
+    ts: u64,
+) -> crate::error::Result<Option<Vec<Bytes>>> {
+    let mut vals = Vec::with_capacity(spec.columns.len());
+    for col in &spec.columns {
+        match cluster.get(&spec.base_table, row, col, ts)? {
+            Some(v) => vals.push(v.value),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(vals))
+}
+
+fn wall_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::IndexScheme;
+    use diff_index_cluster::{ClusterOptions, Cluster};
+    use tempdir_lite::TempDir;
+
+    fn setup() -> (TempDir, Cluster, Arc<IndexSpec>, Arc<Auq>) {
+        let dir = TempDir::new("auq").unwrap();
+        let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+        cluster.create_table("base", 2).unwrap();
+        let spec = Arc::new(IndexSpec::single("byname", "base", "name", IndexScheme::AsyncSimple));
+        cluster.create_table(&spec.index_table(), 2).unwrap();
+        let auq = Auq::start(cluster.downgrade(), Arc::clone(&spec));
+        (dir, cluster, spec, auq)
+    }
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn maintain_inserts_new_index_entry() {
+        let (_d, cluster, spec, auq) = setup();
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("alice"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        auq.wait_idle();
+        let key = index_row(&[b("alice")], b"r1");
+        let got = cluster.get(&spec.index_table(), &key, b"", u64::MAX).unwrap();
+        assert_eq!(got.unwrap().ts, ts, "index entry carries the base timestamp");
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn maintain_deletes_old_entry_on_update() {
+        let (_d, cluster, spec, auq) = setup();
+        let t1 = cluster.put("base", b"r1", &[(b("name"), b("alice"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts: t1, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        auq.wait_idle();
+        let t2 = cluster.put("base", b"r1", &[(b("name"), b("bob"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts: t2, is_delete: false, put_columns: vec![(b("name"), b("bob"))] });
+        auq.wait_idle();
+        let idx = spec.index_table();
+        let old_key = index_row(&[b("alice")], b"r1");
+        let new_key = index_row(&[b("bob")], b"r1");
+        assert!(cluster.get(&idx, &old_key, b"", u64::MAX).unwrap().is_none());
+        assert!(cluster.get(&idx, &new_key, b"", u64::MAX).unwrap().is_some());
+    }
+
+    #[test]
+    fn maintain_handles_base_delete() {
+        let (_d, cluster, spec, auq) = setup();
+        let t1 = cluster.put("base", b"r1", &[(b("name"), b("alice"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts: t1, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        auq.wait_idle();
+        let t2 = cluster.delete("base", b"r1", &[b("name")]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts: t2, is_delete: true, put_columns: vec![] });
+        auq.wait_idle();
+        let old_key = index_row(&[b("alice")], b"r1");
+        assert!(cluster.get(&spec.index_table(), &old_key, b"", u64::MAX).unwrap().is_none());
+    }
+
+    #[test]
+    fn unchanged_value_does_not_delete_fresh_entry() {
+        // Re-putting the SAME value: DI must be skipped (or the paper's δ
+        // protects it); the entry must survive.
+        let (_d, cluster, spec, auq) = setup();
+        let t1 = cluster.put("base", b"r1", &[(b("name"), b("alice"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts: t1, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        auq.wait_idle();
+        let t2 = cluster.put("base", b"r1", &[(b("name"), b("alice"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts: t2, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        auq.wait_idle();
+        let key = index_row(&[b("alice")], b"r1");
+        let got = cluster.get(&spec.index_table(), &key, b"", u64::MAX).unwrap();
+        assert!(got.is_some(), "index entry for unchanged value must survive");
+    }
+
+    #[test]
+    fn redelivery_is_idempotent() {
+        let (_d, cluster, spec, auq) = setup();
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("alice"))]).unwrap();
+        for _ in 0..3 {
+            auq.enqueue(IndexTask::Maintain { row: b("r1"), ts, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        }
+        auq.wait_idle();
+        let hits = cluster
+            .scan_rows_prefix(&spec.index_table(), &crate::encoding::value_prefix(b"alice"), u64::MAX, 100)
+            .unwrap();
+        assert_eq!(hits.len(), 1, "same-timestamp re-delivery adds nothing");
+    }
+
+    #[test]
+    fn pause_blocks_enqueue_until_resume() {
+        let (_d, cluster, _spec, auq) = setup();
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("x"))]).unwrap();
+        auq.pause_and_drain();
+        let auq2 = Arc::clone(&auq);
+        let handle = std::thread::spawn(move || {
+            auq2.enqueue(IndexTask::Maintain { row: b("r1"), ts, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!handle.is_finished(), "enqueue must block while paused");
+        auq.resume();
+        handle.join().unwrap();
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn drain_completes_all_pending_work() {
+        let (_d, cluster, spec, auq) = setup();
+        let mut expected = Vec::new();
+        for i in 0..50 {
+            let row = format!("row{i}");
+            let val = format!("val{i}");
+            let ts = cluster.put("base", row.as_bytes(), &[(b("name"), b(&val))]).unwrap();
+            auq.enqueue(IndexTask::Maintain { row: b(&row), ts, is_delete: false, put_columns: vec![(b("name"), b(&val))] });
+            expected.push((val, row));
+        }
+        auq.pause_and_drain();
+        assert_eq!(auq.depth(), 0);
+        for (val, row) in &expected {
+            let key = index_row(&[b(val)], row.as_bytes());
+            assert!(
+                cluster.get(&spec.index_table(), &key, b"", u64::MAX).unwrap().is_some(),
+                "drained queue must have delivered {val}"
+            );
+        }
+        auq.resume();
+    }
+
+    #[test]
+    fn failing_tasks_retry_and_eventually_drop() {
+        let (_d, cluster, _spec, auq) = setup();
+        // Target table rows route fine, but the index table for this AUQ
+        // exists — so force failure by crashing the only... simpler: point a
+        // fresh AUQ at a spec whose index table does not exist.
+        let bad_spec =
+            Arc::new(IndexSpec::single("ghost", "base", "name", IndexScheme::AsyncSimple));
+        let bad = Auq::start(cluster.downgrade(), bad_spec);
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("v"))]).unwrap();
+        bad.enqueue(IndexTask::Maintain { row: b("r1"), ts, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        bad.wait_idle();
+        assert_eq!(bad.metrics().dropped.load(Ordering::Relaxed), 1);
+        assert!(bad.metrics().retries.load(Ordering::Relaxed) >= 1);
+        drop(auq);
+    }
+
+    #[test]
+    fn put_index_and_delete_index_retries() {
+        let (_d, cluster, spec, auq) = setup();
+        let key = index_row(&[b("v")], b"r9");
+        auq.enqueue(IndexTask::PutIndex { index_row: key.clone(), ts: 500 });
+        auq.wait_idle();
+        assert_eq!(cluster.get(&spec.index_table(), &key, b"", u64::MAX).unwrap().unwrap().ts, 500);
+        auq.enqueue(IndexTask::DeleteIndex { index_row: key.clone(), ts: 501 });
+        auq.wait_idle();
+        assert!(cluster.get(&spec.index_table(), &key, b"", u64::MAX).unwrap().is_none());
+    }
+
+    #[test]
+    fn lag_metrics_are_recorded() {
+        let (_d, cluster, _spec, auq) = setup();
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("v"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain { row: b("r1"), ts, is_delete: false, put_columns: vec![(b("name"), b("alice"))] });
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+        // Lag is wall-clock based; just check it is sane (< 10 s).
+        assert!(auq.metrics().mean_lag_ms() < 10_000.0);
+    }
+
+    #[test]
+    fn shutdown_stops_worker() {
+        let (_d, _cluster, _spec, auq) = setup();
+        auq.shutdown();
+        // Enqueue after shutdown is a no-op, not a hang.
+        auq.enqueue(IndexTask::PutIndex { index_row: b("x"), ts: 1 });
+        assert_eq!(auq.metrics().enqueued.load(Ordering::Relaxed), 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Index-row encoding: `value ⊕ rowkey`.
+//!
+//! The paper (§4, Remark): *"an index row uses the concatenation of the
+//! index value and rowkey of the base entry as its rowkey, with a null
+//! value"*. We concatenate the order-preserving encodings of each indexed
+//! value (composite indexes have several) followed by the base row key, so
+//! that:
+//!
+//! * all index entries for one value are contiguous (exact-match lookup is a
+//!   prefix scan);
+//! * entries sort by value (range queries on the indexed column are range
+//!   scans, Figure 9);
+//! * the `(values…, rowkey)` tuple can be decoded back unambiguously.
+
+use bytes::{Bytes, BytesMut};
+use diff_index_cluster::encoding::{decode_part, encode_part};
+
+/// Build an index row key from the indexed values (in spec order) and the
+/// base row key.
+pub fn index_row(values: &[Bytes], base_row: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(
+        values.iter().map(|v| v.len() + 2).sum::<usize>() + base_row.len() + 2,
+    );
+    for v in values {
+        encode_part(&mut out, v);
+    }
+    encode_part(&mut out, base_row);
+    out.freeze()
+}
+
+/// Decode an index row key produced by [`index_row`] with `n_values`
+/// indexed columns, returning `(values, base_row)`.
+pub fn decode_index_row(key: &[u8], n_values: usize) -> Option<(Vec<Bytes>, Bytes)> {
+    let mut off = 0usize;
+    let mut values = Vec::with_capacity(n_values);
+    for _ in 0..n_values {
+        let (v, used) = decode_part(&key[off..])?;
+        values.push(Bytes::from(v));
+        off += used;
+    }
+    let (row, used) = decode_part(&key[off..])?;
+    if off + used != key.len() {
+        return None; // trailing bytes: not a well-formed index row
+    }
+    Some((values, Bytes::from(row)))
+}
+
+/// Row-key prefix covering every index entry whose **first** indexed value
+/// equals `value` (exact-match lookup).
+pub fn value_prefix(value: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(value.len() + 2);
+    encode_part(&mut out, value);
+    out.freeze()
+}
+
+/// Row-key range `[start, end)` covering every index entry whose first
+/// indexed value `v` satisfies `lo <= v` and (`v <= hi` if `inclusive`,
+/// else `v < hi`). Used by range queries (Figure 9).
+pub fn value_range(lo: &[u8], hi: &[u8], inclusive: bool) -> (Bytes, Bytes) {
+    let start = value_prefix(lo);
+    let end = if inclusive {
+        // The smallest byte string strictly greater than `hi` is
+        // `hi ++ [0x00]`; entries for `hi` itself stay inside the bound.
+        let mut hi_succ = Vec::with_capacity(hi.len() + 1);
+        hi_succ.extend_from_slice(hi);
+        hi_succ.push(0x00);
+        value_prefix(&hi_succ)
+    } else {
+        value_prefix(hi)
+    };
+    (start, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_single_value() {
+        let k = index_row(&[Bytes::from("red")], b"item42");
+        let (vals, row) = decode_index_row(&k, 1).unwrap();
+        assert_eq!(vals, vec![Bytes::from("red")]);
+        assert_eq!(row, Bytes::from("item42"));
+    }
+
+    #[test]
+    fn roundtrip_composite_and_binary() {
+        let vals = vec![Bytes::from_static(b"a\x00b"), Bytes::from_static(b"")];
+        let k = index_row(&vals, b"\x00row\x00");
+        let (got, row) = decode_index_row(&k, 2).unwrap();
+        assert_eq!(got, vals);
+        assert_eq!(row, Bytes::from_static(b"\x00row\x00"));
+    }
+
+    #[test]
+    fn decode_with_wrong_arity_fails() {
+        let k = index_row(&[Bytes::from("v")], b"r");
+        assert!(decode_index_row(&k, 2).is_none());
+        // Arity 0 leaves the value part as trailing bytes: also rejected.
+        assert!(decode_index_row(&k, 0).is_none());
+    }
+
+    #[test]
+    fn entries_group_by_value_then_rowkey() {
+        let a1 = index_row(&[Bytes::from("apple")], b"r1");
+        let a2 = index_row(&[Bytes::from("apple")], b"r2");
+        let b1 = index_row(&[Bytes::from("banana")], b"r1");
+        assert!(a1 < a2 && a2 < b1);
+        // Exact-match prefix covers exactly the apple entries.
+        let p = value_prefix(b"apple");
+        assert!(a1.starts_with(&p) && a2.starts_with(&p));
+        assert!(!b1.starts_with(&p));
+        // And no value that merely EXTENDS "apple" matches the prefix:
+        let apple_pie = index_row(&[Bytes::from("applepie")], b"r1");
+        assert!(!apple_pie.starts_with(&p));
+    }
+
+    #[test]
+    fn value_sort_order_is_preserved_despite_rowkeys() {
+        // "a" with a huge rowkey still sorts before "b" with a tiny one.
+        let a = index_row(&[Bytes::from("a")], &[0xFFu8; 64]);
+        let b = index_row(&[Bytes::from("b")], b"");
+        assert!(a < b);
+    }
+
+    #[test]
+    fn value_range_exclusive_and_inclusive() {
+        let e10 = index_row(&[Bytes::from("10")], b"r");
+        let e15 = index_row(&[Bytes::from("15")], b"r");
+        let e20 = index_row(&[Bytes::from("20")], b"r");
+        let e20b = index_row(&[Bytes::from("20")], b"zzzz");
+        let e21 = index_row(&[Bytes::from("21")], b"r");
+
+        let (lo, hi) = value_range(b"10", b"20", false);
+        assert!(e10 >= lo && e10 < hi);
+        assert!(e15 >= lo && e15 < hi);
+        assert!(e20 >= hi, "exclusive hi excludes value 20");
+
+        let (lo, hi) = value_range(b"10", b"20", true);
+        assert!(e20 >= lo && e20 < hi, "inclusive hi includes value 20");
+        assert!(e20b < hi, "…including every rowkey under value 20");
+        assert!(e21 >= hi, "but not value 21");
+    }
+}

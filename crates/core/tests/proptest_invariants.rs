@@ -1,0 +1,217 @@
+//! Property-based invariants of Diff-Index:
+//!
+//! 1. index-row encoding round-trips and preserves tuple order;
+//! 2. under arbitrary put/delete sequences (with random flushes and
+//!    crash/recover cycles), every scheme converges to an index that is
+//!    exactly the projection of the base table;
+//! 3. a session always observes its own writes.
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::encoding::{decode_index_row, index_row, value_prefix};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+use diff_index_lsm::{LsmOptions, TableOptions};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use tempdir_lite::TempDir;
+
+// --- encoding properties ----------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn index_row_roundtrip(
+        values in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..20), 1..4),
+        row in prop::collection::vec(any::<u8>(), 0..20)
+    ) {
+        let vals: Vec<Bytes> = values.iter().map(|v| Bytes::from(v.clone())).collect();
+        let key = index_row(&vals, &row);
+        let (got_vals, got_row) = decode_index_row(&key, vals.len()).unwrap();
+        prop_assert_eq!(got_vals, vals);
+        prop_assert_eq!(got_row.as_ref(), row.as_slice());
+    }
+
+    #[test]
+    fn index_row_order_matches_tuple_order(
+        a_val in prop::collection::vec(any::<u8>(), 0..12),
+        a_row in prop::collection::vec(any::<u8>(), 0..12),
+        b_val in prop::collection::vec(any::<u8>(), 0..12),
+        b_row in prop::collection::vec(any::<u8>(), 0..12)
+    ) {
+        let ka = index_row(&[Bytes::from(a_val.clone())], &a_row);
+        let kb = index_row(&[Bytes::from(b_val.clone())], &b_row);
+        let tuple_cmp = (a_val.clone(), a_row.clone()).cmp(&(b_val.clone(), b_row.clone()));
+        prop_assert_eq!(ka.cmp(&kb), tuple_cmp,
+            "encoding must sort exactly like the (value, row) tuple");
+    }
+
+    #[test]
+    fn value_prefix_covers_exactly_that_value(
+        val in prop::collection::vec(any::<u8>(), 0..12),
+        other in prop::collection::vec(any::<u8>(), 0..12),
+        row in prop::collection::vec(any::<u8>(), 0..12)
+    ) {
+        let p = value_prefix(&val);
+        let same = index_row(&[Bytes::from(val.clone())], &row);
+        prop_assert!(same.starts_with(&p));
+        if other != val {
+            let diff = index_row(&[Bytes::from(other.clone())], &row);
+            prop_assert!(!diff.starts_with(&p),
+                "prefix for {:?} must not cover value {:?}", val, other);
+        }
+    }
+}
+
+// --- convergence properties ---------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Action {
+    Put { row: u8, value: u8 },
+    Delete { row: u8 },
+    Flush,
+    CrashRecover { server: u8 },
+}
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        8 => (any::<u8>(), any::<u8>()).prop_map(|(row, value)| Action::Put {
+            row: row % 12,
+            value: value % 6,
+        }),
+        2 => any::<u8>().prop_map(|row| Action::Delete { row: row % 12 }),
+        1 => Just(Action::Flush),
+        1 => any::<u8>().prop_map(|server| Action::CrashRecover { server: server % 2 }),
+    ]
+}
+
+fn small_lsm() -> LsmOptions {
+    LsmOptions {
+        memtable_flush_bytes: 2048,
+        table: TableOptions { block_size: 256, bloom_bits_per_key: 10 },
+        compaction_trigger: 3,
+        version_retention: u64::MAX,
+        ..LsmOptions::default()
+    }
+}
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn run_convergence(scheme: IndexScheme, actions: &[Action]) -> Result<(), TestCaseError> {
+    let dir = TempDir::new("prop-conv").unwrap();
+    let cluster = Cluster::new(
+        dir.path(),
+        ClusterOptions { num_servers: 2, lsm: small_lsm() },
+    )
+    .unwrap();
+    cluster.create_table("t", 4).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(IndexSpec::single("ix", "t", "c", scheme), 4).unwrap();
+
+    // Ground truth: row -> current value.
+    let mut truth: BTreeMap<String, String> = BTreeMap::new();
+    for a in actions {
+        match a {
+            Action::Put { row, value } => {
+                let r = format!("row{row:02}");
+                let v = format!("val{value}");
+                // A put may transiently fail if it routes to a crashed
+                // server mid-sequence; we always recover first, so unwrap.
+                cluster.put("t", r.as_bytes(), &[(b("c"), b(&v))]).unwrap();
+                truth.insert(r, v);
+            }
+            Action::Delete { row } => {
+                let r = format!("row{row:02}");
+                cluster.delete("t", r.as_bytes(), &[b("c")]).unwrap();
+                truth.remove(&r);
+            }
+            Action::Flush => cluster.flush_table("t").unwrap(),
+            Action::CrashRecover { server } => {
+                cluster.crash_server(*server as u32);
+                cluster.recover().unwrap();
+                cluster.restart_server(*server as u32);
+            }
+        }
+    }
+    di.quiesce("t");
+
+    // The index must be exactly the projection of the base table: for every
+    // value, get_by_index returns precisely the rows currently holding it.
+    let mut expected: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (r, v) in &truth {
+        expected.entry(v.clone()).or_default().push(r.clone());
+    }
+    for value in 0..6u8 {
+        let v = format!("val{value}");
+        let hits = di.get_by_index("t", "ix", v.as_bytes(), 1000).unwrap();
+        let mut got: Vec<String> =
+            hits.iter().map(|h| String::from_utf8(h.row.to_vec()).unwrap()).collect();
+        got.sort();
+        let want = expected.get(&v).cloned().unwrap_or_default();
+        prop_assert_eq!(got, want, "scheme {} value {}", scheme, v);
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn sync_full_converges(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        run_convergence(IndexScheme::SyncFull, &actions)?;
+    }
+
+    #[test]
+    fn sync_insert_converges(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        run_convergence(IndexScheme::SyncInsert, &actions)?;
+    }
+
+    #[test]
+    fn async_simple_converges(actions in prop::collection::vec(action_strategy(), 1..40)) {
+        run_convergence(IndexScheme::AsyncSimple, &actions)?;
+    }
+
+    #[test]
+    fn session_always_reads_its_own_writes(
+        writes in prop::collection::vec((0u8..10, 0u8..5), 1..25)
+    ) {
+        let dir = TempDir::new("prop-sess").unwrap();
+        let cluster = Cluster::new(
+            dir.path(),
+            ClusterOptions { num_servers: 2, lsm: small_lsm() },
+        ).unwrap();
+        cluster.create_table("t", 4).unwrap();
+        let di = DiffIndex::new(cluster.clone());
+        di.create_index(IndexSpec::single("ix", "t", "c", IndexScheme::AsyncSession), 4).unwrap();
+        let session = di.session();
+        let mut truth: BTreeMap<String, String> = BTreeMap::new();
+        for (row, value) in &writes {
+            let r = format!("row{row:02}");
+            let v = format!("val{value}");
+            session.put("t", r.as_bytes(), &[(b("c"), b(&v))]).unwrap();
+            truth.insert(r.clone(), v.clone());
+            // IMMEDIATELY readable in-session, no quiesce (read-your-writes).
+            let hits = session.get_by_index("t", "ix", v.as_bytes(), 100).unwrap();
+            prop_assert!(
+                hits.iter().any(|h| h.row.as_ref() == r.as_bytes()),
+                "session must see its own write {r}={v}"
+            );
+        }
+        // Final in-session view is exactly the projection of truth.
+        for value in 0..5u8 {
+            let v = format!("val{value}");
+            let hits = session.get_by_index("t", "ix", v.as_bytes(), 1000).unwrap();
+            let mut got: Vec<String> =
+                hits.iter().map(|h| String::from_utf8(h.row.to_vec()).unwrap()).collect();
+            got.sort();
+            let want: Vec<String> = truth
+                .iter()
+                .filter(|(_, tv)| **tv == v)
+                .map(|(r, _)| r.clone())
+                .collect();
+            prop_assert_eq!(got, want, "final session view for {}", v);
+        }
+    }
+}

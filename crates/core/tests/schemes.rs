@@ -1,0 +1,478 @@
+//! End-to-end semantics of the four Diff-Index schemes against the real
+//! cluster + LSM substrate: correctness of index maintenance, read-repair,
+//! session consistency, and the consistency levels of Figure 4.
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+use diff_index_lsm::{LsmOptions, TableOptions};
+use tempdir_lite::TempDir;
+
+fn small_lsm() -> LsmOptions {
+    LsmOptions {
+        memtable_flush_bytes: 16 * 1024,
+        table: TableOptions { block_size: 512, bloom_bits_per_key: 10 },
+        compaction_trigger: 4,
+        version_retention: u64::MAX,
+        ..LsmOptions::default()
+    }
+}
+
+fn setup(scheme: IndexScheme) -> (TempDir, Cluster, DiffIndex) {
+    let dir = TempDir::new("diffidx").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 2, lsm: small_lsm() }).unwrap();
+    cluster.create_table("item", 4).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(IndexSpec::single("title", "item", "item_title", scheme), 4).unwrap();
+    (dir, cluster, di)
+}
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn put_title(cluster: &Cluster, row: &str, title: &str) -> u64 {
+    cluster.put("item", row.as_bytes(), &[(b("item_title"), b(title))]).unwrap()
+}
+
+fn rows_of(hits: &[diff_index_core::IndexHit]) -> Vec<String> {
+    let mut v: Vec<String> =
+        hits.iter().map(|h| String::from_utf8(h.row.to_vec()).unwrap()).collect();
+    v.sort();
+    v
+}
+
+// --- sync-full -------------------------------------------------------------
+
+#[test]
+fn sync_full_index_is_immediately_consistent() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    put_title(&cluster, "item1", "red shirt");
+    put_title(&cluster, "item2", "red shirt");
+    put_title(&cluster, "item3", "blue pants");
+    let hits = di.get_by_index("item", "title", b"red shirt", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1", "item2"]);
+    let hits = di.get_by_index("item", "title", b"blue pants", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item3"]);
+    assert!(di.get_by_index("item", "title", b"green hat", 100).unwrap().is_empty());
+}
+
+#[test]
+fn sync_full_update_removes_old_entry_immediately() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    put_title(&cluster, "item1", "old title");
+    put_title(&cluster, "item1", "new title");
+    assert!(di.get_by_index("item", "title", b"old title", 100).unwrap().is_empty());
+    let hits = di.get_by_index("item", "title", b"new title", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn sync_full_same_value_reput_keeps_entry() {
+    // The δ subtlety of §4.3: when vnew == vold, the delete at tnew−δ must
+    // not kill the entry that was just written at tnew.
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    put_title(&cluster, "item1", "same");
+    put_title(&cluster, "item1", "same");
+    let hits = di.get_by_index("item", "title", b"same", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn sync_full_delete_removes_entry() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    put_title(&cluster, "item1", "gone");
+    cluster.delete("item", b"item1", &[b("item_title")]).unwrap();
+    assert!(di.get_by_index("item", "title", b"gone", 100).unwrap().is_empty());
+}
+
+#[test]
+fn index_entry_timestamp_equals_base_timestamp() {
+    // The concurrency-control invariant of §4.3.
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    let ts = put_title(&cluster, "item1", "stamped");
+    let hits = di.get_by_index("item", "title", b"stamped", 100).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].ts, ts);
+}
+
+// --- sync-insert -------------------------------------------------------------
+
+#[test]
+fn sync_insert_leaves_stale_entry_but_read_repairs() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncInsert);
+    put_title(&cluster, "item1", "version-a");
+    put_title(&cluster, "item1", "version-b");
+
+    // The raw index table still holds BOTH entries (no sync delete)…
+    let idx_table = di.index("item", "title").unwrap().spec.index_table();
+    let raw = cluster
+        .scan_rows_prefix(&idx_table, &diff_index_core::encoding::value_prefix(b"version-a"), u64::MAX, 10)
+        .unwrap();
+    assert_eq!(raw.len(), 1, "stale entry expected before read-repair");
+
+    // …but getByIndex double-checks and hides it (Algorithm 2)…
+    assert!(di.get_by_index("item", "title", b"version-a", 100).unwrap().is_empty());
+    let hits = di.get_by_index("item", "title", b"version-b", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+
+    // …and the stale entry is now physically gone (repaired).
+    let raw = cluster
+        .scan_rows_prefix(&idx_table, &diff_index_core::encoding::value_prefix(b"version-a"), u64::MAX, 10)
+        .unwrap();
+    assert!(raw.is_empty(), "read-repair must delete the stale entry");
+}
+
+#[test]
+fn sync_insert_read_after_base_delete_repairs() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncInsert);
+    put_title(&cluster, "item1", "doomed");
+    cluster.delete("item", b"item1", &[b("item_title")]).unwrap();
+    assert!(di.get_by_index("item", "title", b"doomed", 100).unwrap().is_empty());
+}
+
+#[test]
+fn sync_insert_fresh_entries_are_correct() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncInsert);
+    for i in 0..20 {
+        put_title(&cluster, &format!("item{i}"), if i % 2 == 0 { "even" } else { "odd" });
+    }
+    let hits = di.get_by_index("item", "title", b"even", 100).unwrap();
+    assert_eq!(hits.len(), 10);
+    for h in &hits {
+        assert_eq!(h.values[0], Bytes::from("even"));
+    }
+}
+
+// --- async-simple ------------------------------------------------------------
+
+#[test]
+fn async_simple_is_eventually_consistent() {
+    let (_d, cluster, di) = setup(IndexScheme::AsyncSimple);
+    put_title(&cluster, "item1", "eventual");
+    // After quiescing the AUQ the index must be complete and correct.
+    di.quiesce("item");
+    let hits = di.get_by_index("item", "title", b"eventual", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn async_simple_update_converges_to_single_entry() {
+    let (_d, cluster, di) = setup(IndexScheme::AsyncSimple);
+    for v in ["v1", "v2", "v3", "v4"] {
+        put_title(&cluster, "item1", v);
+    }
+    di.quiesce("item");
+    for v in ["v1", "v2", "v3"] {
+        assert!(
+            di.get_by_index("item", "title", v.as_bytes(), 100).unwrap().is_empty(),
+            "old value {v} must be unindexed after convergence"
+        );
+    }
+    let hits = di.get_by_index("item", "title", b"v4", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn async_simple_delete_converges() {
+    let (_d, cluster, di) = setup(IndexScheme::AsyncSimple);
+    put_title(&cluster, "item1", "temp");
+    di.quiesce("item");
+    cluster.delete("item", b"item1", &[b("item_title")]).unwrap();
+    di.quiesce("item");
+    assert!(di.get_by_index("item", "title", b"temp", 100).unwrap().is_empty());
+}
+
+#[test]
+fn async_simple_heavy_write_batch_converges() {
+    let (_d, cluster, di) = setup(IndexScheme::AsyncSimple);
+    for i in 0..200 {
+        put_title(&cluster, &format!("item{i:03}"), &format!("title{:02}", i % 10));
+    }
+    di.quiesce("item");
+    for t in 0..10 {
+        let hits =
+            di.get_by_index("item", "title", format!("title{t:02}").as_bytes(), 1000).unwrap();
+        assert_eq!(hits.len(), 20, "title{t:02} should index 20 items");
+    }
+}
+
+// --- async-session -----------------------------------------------------------
+
+#[test]
+fn session_sees_own_writes_immediately() {
+    let (_d, _cluster, di) = setup(IndexScheme::AsyncSession);
+    let session = di.session();
+    session.put("item", b"item1", &[(b("item_title"), b("mine"))]).unwrap();
+    // No quiesce: the AUQ may not have delivered yet, but the session must
+    // see its own write (read-your-writes, §3.3/§5.2).
+    let hits = session.get_by_index("item", "title", b"mine", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn other_clients_are_only_eventually_consistent() {
+    let (_d, _cluster, di) = setup(IndexScheme::AsyncSession);
+    let user1 = di.session();
+    user1.put("item", b"item1", &[(b("item_title"), b("review-a"))]).unwrap();
+    // User 2 (plain read) may or may not see it yet; after quiesce they must.
+    di.quiesce("item");
+    let hits = di.get_by_index("item", "title", b"review-a", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn session_update_hides_old_value_immediately() {
+    let (_d, _cluster, di) = setup(IndexScheme::AsyncSession);
+    let s = di.session();
+    s.put("item", b"item1", &[(b("item_title"), b("before"))]).unwrap();
+    di.quiesce("item"); // server index now has "before"
+    s.put("item", b"item1", &[(b("item_title"), b("after"))]).unwrap();
+    // Even though the AUQ hasn't delivered the update, the session's private
+    // delete marker must hide the stale server entry.
+    let hits = s.get_by_index("item", "title", b"before", 100).unwrap();
+    assert!(hits.is_empty(), "session must not see its own overwritten value");
+    let hits = s.get_by_index("item", "title", b"after", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn session_merge_deduplicates_once_index_catches_up() {
+    let (_d, _cluster, di) = setup(IndexScheme::AsyncSession);
+    let s = di.session();
+    s.put("item", b"item1", &[(b("item_title"), b("dup"))]).unwrap();
+    di.quiesce("item");
+    // Server now has the entry too; merged result must still be one hit.
+    let hits = s.get_by_index("item", "title", b"dup", 100).unwrap();
+    assert_eq!(hits.len(), 1);
+}
+
+#[test]
+fn ended_session_rejects_operations() {
+    let (_d, _cluster, di) = setup(IndexScheme::AsyncSession);
+    let s = di.session();
+    s.end();
+    assert!(matches!(
+        s.put("item", b"r", &[(b("item_title"), b("v"))]),
+        Err(diff_index_core::IndexError::SessionExpired)
+    ));
+    assert!(matches!(
+        s.get_by_index("item", "title", b"v", 10),
+        Err(diff_index_core::IndexError::SessionExpired)
+    ));
+}
+
+#[test]
+fn session_memory_cap_disables_consistency_gracefully() {
+    let dir = TempDir::new("diffidx").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 1, lsm: small_lsm() }).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::with_session_config(
+        cluster.clone(),
+        diff_index_core::SessionConfig {
+            max_idle: std::time::Duration::from_secs(1800),
+            max_bytes: 256, // tiny budget
+        },
+    );
+    di.create_index(IndexSpec::single("title", "item", "item_title", IndexScheme::AsyncSession), 2)
+        .unwrap();
+    let s = di.session();
+    for i in 0..50 {
+        s.put("item", format!("item{i}").as_bytes(), &[(b("item_title"), b("t"))]).unwrap();
+    }
+    assert!(s.consistency_disabled(), "tiny budget must trip the memory monitor");
+    // Session still usable — it just degrades to async-simple semantics.
+    di.quiesce("item");
+    let hits = s.get_by_index("item", "title", b"t", 100).unwrap();
+    assert_eq!(hits.len(), 50);
+}
+
+// --- the paper's §3.3 scenario ------------------------------------------------
+
+#[test]
+fn section_3_3_review_scenario() {
+    // User 1 posts a review for product A and immediately lists reviews for
+    // A: must see their own review. User 2's listing is eventual.
+    let dir = TempDir::new("diffidx").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 2, lsm: small_lsm() }).unwrap();
+    cluster.create_table("reviews", 4).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(
+        IndexSpec::single("by_product", "reviews", "ProductID", IndexScheme::AsyncSession),
+        4,
+    )
+    .unwrap();
+
+    // Pre-existing review by someone else, already indexed.
+    cluster.put("reviews", b"rev-old", &[(b("ProductID"), b("productA"))]).unwrap();
+    di.quiesce("reviews");
+
+    let user1 = di.session();
+    // 1. User 1 views reviews for product A.
+    let before = user1.get_by_index("reviews", "by_product", b"productA", 100).unwrap();
+    assert_eq!(before.len(), 1);
+    // 2. User 1 posts a review for product A.
+    user1.put("reviews", b"rev-new", &[(b("ProductID"), b("productA"))]).unwrap();
+    // 3. User 1 lists reviews for A — must include their own, instantly.
+    let after = user1.get_by_index("reviews", "by_product", b"productA", 100).unwrap();
+    assert_eq!(rows_of(&after), vec!["rev-new", "rev-old"]);
+
+    // User 2 eventually sees it too.
+    di.quiesce("reviews");
+    let user2_view = di.get_by_index("reviews", "by_product", b"productA", 100).unwrap();
+    assert_eq!(rows_of(&user2_view), vec!["rev-new", "rev-old"]);
+}
+
+// --- shared behaviours ---------------------------------------------------------
+
+#[test]
+fn backfill_indexes_existing_rows() {
+    let dir = TempDir::new("diffidx").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 2, lsm: small_lsm() }).unwrap();
+    cluster.create_table("item", 4).unwrap();
+    // Data exists BEFORE the index is created.
+    for i in 0..30 {
+        cluster
+            .put("item", format!("item{i:02}").as_bytes(), &[(b("item_title"), b("preexisting"))])
+            .unwrap();
+    }
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(IndexSpec::single("title", "item", "item_title", IndexScheme::SyncFull), 4)
+        .unwrap();
+    let hits = di.get_by_index("item", "title", b"preexisting", 100).unwrap();
+    assert_eq!(hits.len(), 30);
+}
+
+#[test]
+fn range_query_by_index() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    for (row, price) in
+        [("a", "price010"), ("b", "price020"), ("c", "price030"), ("d", "price040")]
+    {
+        cluster.put("item", row.as_bytes(), &[(b("item_title"), b(price))]).unwrap();
+    }
+    let hits = di.range_by_index("item", "title", b"price015", b"price035", true, 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["b", "c"]);
+    let hits = di.range_by_index("item", "title", b"price010", b"price030", false, 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["a", "b"]);
+    let hits = di.range_by_index("item", "title", b"price010", b"price030", true, 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["a", "b", "c"]);
+}
+
+#[test]
+fn composite_index_roundtrip() {
+    let dir = TempDir::new("diffidx").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 1, lsm: small_lsm() }).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(
+        IndexSpec::composite(
+            "cat_price",
+            "item",
+            vec![b("category"), b("price")],
+            IndexScheme::SyncFull,
+        ),
+        2,
+    )
+    .unwrap();
+    // Row indexed only once BOTH columns are present.
+    cluster.put("item", b"i1", &[(b("category"), b("toys"))]).unwrap();
+    assert!(di.get_by_index("item", "cat_price", b"toys", 100).unwrap().is_empty());
+    cluster.put("item", b"i1", &[(b("price"), b("0099"))]).unwrap();
+    let hits = di.get_by_index("item", "cat_price", b"toys", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["i1"]);
+    assert_eq!(hits[0].values, vec![Bytes::from("toys"), Bytes::from("0099")]);
+
+    // Updating one component moves the entry.
+    cluster.put("item", b"i1", &[(b("category"), b("games"))]).unwrap();
+    assert!(di.get_by_index("item", "cat_price", b"toys", 100).unwrap().is_empty());
+    let hits = di.get_by_index("item", "cat_price", b"games", 100).unwrap();
+    assert_eq!(rows_of(&hits), vec!["i1"]);
+}
+
+#[test]
+fn drop_index_stops_maintenance() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    put_title(&cluster, "item1", "live");
+    di.drop_index("item", "title").unwrap();
+    assert!(di.get_by_index("item", "title", b"live", 10).is_err());
+    // Further puts must not crash (observer detached).
+    put_title(&cluster, "item2", "after-drop");
+}
+
+#[test]
+fn duplicate_index_name_rejected() {
+    let (_d, _cluster, di) = setup(IndexScheme::SyncFull);
+    let err = di
+        .create_index(IndexSpec::single("title", "item", "item_title", IndexScheme::SyncFull), 2)
+        .unwrap_err();
+    assert!(matches!(err, diff_index_core::IndexError::IndexExists(_)));
+}
+
+#[test]
+fn two_indexes_different_schemes_coexist() {
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    di.create_index(IndexSpec::single("price", "item", "item_price", IndexScheme::AsyncSimple), 4)
+        .unwrap();
+    cluster
+        .put("item", b"item1", &[(b("item_title"), b("widget")), (b("item_price"), b("0042"))])
+        .unwrap();
+    // sync-full index: immediate.
+    let hits = di.get_by_index("item", "title", b"widget", 10).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+    // async index: after quiesce.
+    di.quiesce("item");
+    let hits = di.get_by_index("item", "price", b"0042", 10).unwrap();
+    assert_eq!(rows_of(&hits), vec!["item1"]);
+}
+
+#[test]
+fn table2_io_costs_match_measured_counters() {
+    // Measure (Base Put, Base Read, Index Put, Index Read) around one index
+    // update and one index read, per scheme, and compare with the analytic
+    // Table 2 (update row; deletes are counted within index_put as "1+1").
+    for scheme in [IndexScheme::SyncFull, IndexScheme::SyncInsert, IndexScheme::AsyncSimple] {
+        let (_d, cluster, di) = setup(scheme);
+        let idx_table = di.index("item", "title").unwrap().spec.index_table();
+        put_title(&cluster, "item1", "v1"); // make it an UPDATE below
+        di.quiesce("item");
+
+        let base0 = cluster.table_metrics("item").unwrap();
+        let idx0 = cluster.table_metrics(&idx_table).unwrap();
+        put_title(&cluster, "item1", "v2");
+        di.quiesce("item");
+        let base1 = cluster.table_metrics("item").unwrap();
+        let idx1 = cluster.table_metrics(&idx_table).unwrap();
+
+        let d_base = base1 - base0;
+        let d_idx = idx1 - idx0;
+        let expect = diff_index_core::update_cost(Some(scheme));
+        assert_eq!(d_base.puts, expect.base_put as u64, "{scheme}: base puts");
+        assert_eq!(d_base.gets, expect.base_read as u64, "{scheme}: base reads");
+        assert_eq!(
+            d_idx.puts + d_idx.deletes,
+            expect.index_put as u64,
+            "{scheme}: index puts+deletes"
+        );
+
+        // Read action.
+        let base0 = cluster.table_metrics("item").unwrap();
+        let idx0 = cluster.table_metrics(&idx_table).unwrap();
+        let hits = di.get_by_index("item", "title", b"v2", 100).unwrap();
+        let base1 = cluster.table_metrics("item").unwrap();
+        let idx1 = cluster.table_metrics(&idx_table).unwrap();
+        let k = hits.len() as u64;
+        assert_eq!(k, 1);
+        let d_base = base1 - base0;
+        let d_idx = idx1 - idx0;
+        let expect = diff_index_core::read_cost(scheme, k as u32);
+        assert_eq!(d_idx.scans, expect.index_read as u64, "{scheme}: index reads");
+        // sync-insert does K base gets (per indexed column); others none.
+        assert_eq!(d_base.gets, expect.base_read as u64, "{scheme}: base double-checks");
+    }
+}

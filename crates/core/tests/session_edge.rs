@@ -1,0 +1,168 @@
+//! Edge cases of the session-consistency layer (§5.2): expiry, range
+//! queries through the session merge, multi-session isolation, and
+//! interaction with deletes.
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexError, IndexScheme, IndexSpec, SessionConfig};
+use std::time::Duration;
+use tempdir_lite::TempDir;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn setup() -> (TempDir, Cluster, DiffIndex) {
+    let dir = TempDir::new("sess-edge").unwrap();
+    let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(
+        IndexSpec::single("price", "item", "item_price", IndexScheme::AsyncSession),
+        2,
+    )
+    .unwrap();
+    (dir, cluster, di)
+}
+
+#[test]
+fn idle_session_expires_and_is_garbage_collected() {
+    let dir = TempDir::new("sess-exp").unwrap();
+    let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::with_session_config(
+        cluster.clone(),
+        SessionConfig { max_idle: Duration::from_millis(50), max_bytes: 1 << 20 },
+    );
+    di.create_index(
+        IndexSpec::single("price", "item", "item_price", IndexScheme::AsyncSession),
+        2,
+    )
+    .unwrap();
+    let s = di.session();
+    s.put("item", b"r1", &[(b("item_price"), b("10"))]).unwrap();
+    assert!(s.private_bytes() > 0);
+    std::thread::sleep(Duration::from_millis(120));
+    // The paper: "an application that issues a request under this session ID
+    // after [the limit] will get a session expiration notification".
+    assert!(matches!(
+        s.get_by_index("item", "price", b"10", 10),
+        Err(IndexError::SessionExpired)
+    ));
+    assert_eq!(s.private_bytes(), 0, "expired session state is garbage collected");
+    // A NEW session works fine.
+    let s2 = di.session();
+    assert!(s2.get_by_index("item", "price", b"10", 10).is_ok());
+}
+
+#[test]
+fn activity_keeps_session_alive() {
+    let dir = TempDir::new("sess-alive").unwrap();
+    let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::with_session_config(
+        cluster.clone(),
+        SessionConfig { max_idle: Duration::from_millis(150), max_bytes: 1 << 20 },
+    );
+    di.create_index(
+        IndexSpec::single("price", "item", "item_price", IndexScheme::AsyncSession),
+        2,
+    )
+    .unwrap();
+    let s = di.session();
+    for i in 0..6 {
+        std::thread::sleep(Duration::from_millis(40));
+        s.put("item", format!("r{i}").as_bytes(), &[(b("item_price"), b("5"))]).unwrap();
+    }
+    // > 150 ms total elapsed, but never idle that long: still alive.
+    assert!(s.get_by_index("item", "price", b"5", 10).is_ok());
+}
+
+#[test]
+fn session_range_queries_merge_private_state() {
+    let (_d, _cluster, di) = setup();
+    let s = di.session();
+    for (row, price) in [("a", "0010"), ("b", "0020"), ("c", "0030"), ("d", "0040")] {
+        s.put("item", row.as_bytes(), &[(b("item_price"), b(price))]).unwrap();
+    }
+    // No quiesce: range must still see the session's own writes.
+    let hits = s.range_by_index("item", "price", b"0015", b"0035", true, 100).unwrap();
+    let mut rows: Vec<&str> = hits
+        .iter()
+        .map(|h| std::str::from_utf8(h.row.as_ref()).unwrap())
+        .collect();
+    rows.sort_unstable();
+    assert_eq!(rows, vec!["b", "c"]);
+
+    // After the index catches up the result must be identical (merged, not
+    // duplicated).
+    di.quiesce("item");
+    let hits2 = s.range_by_index("item", "price", b"0015", b"0035", true, 100).unwrap();
+    assert_eq!(hits2.len(), 2);
+}
+
+#[test]
+fn sessions_are_isolated_from_each_other() {
+    let (_d, _cluster, di) = setup();
+    let alice = di.session();
+    let bob = di.session();
+    assert_ne!(alice.id(), bob.id());
+    alice.put("item", b"r1", &[(b("item_price"), b("99"))]).unwrap();
+    // Alice sees it; Bob (whose session has no private state for it and the
+    // AUQ hasn't delivered) may not — and definitely must not see it via
+    // *his* private table.
+    let a = alice.get_by_index("item", "price", b"99", 10).unwrap();
+    assert_eq!(a.len(), 1);
+    assert_eq!(bob.private_bytes(), 0);
+    // After delivery everyone converges.
+    di.quiesce("item");
+    let b_view = bob.get_by_index("item", "price", b"99", 10).unwrap();
+    assert_eq!(b_view.len(), 1);
+}
+
+#[test]
+fn session_overwrite_chain_tracks_only_latest() {
+    let (_d, _cluster, di) = setup();
+    let s = di.session();
+    for price in ["10", "20", "30"] {
+        s.put("item", b"r1", &[(b("item_price"), b(price))]).unwrap();
+    }
+    for stale in ["10", "20"] {
+        assert!(
+            s.get_by_index("item", "price", stale.as_bytes(), 10).unwrap().is_empty(),
+            "session must hide its own superseded value {stale}"
+        );
+    }
+    let hits = s.get_by_index("item", "price", b"30", 10).unwrap();
+    assert_eq!(hits.len(), 1);
+    // Convergence check after delivery.
+    di.quiesce("item");
+    let hits = s.get_by_index("item", "price", b"30", 10).unwrap();
+    assert_eq!(hits.len(), 1);
+    assert!(di.get_by_index("item", "price", b"10", 10).unwrap().is_empty());
+}
+
+#[test]
+fn non_session_indexes_ignore_session_tracking() {
+    // A session put on a table whose indexes are NOT async-session keeps no
+    // private state (nothing to merge — those schemes are causal/eventual).
+    let dir = TempDir::new("sess-none").unwrap();
+    let cluster = Cluster::new(dir.path(), ClusterOptions::default()).unwrap();
+    cluster.create_table("item", 2).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(IndexSpec::single("t", "item", "c", IndexScheme::SyncFull), 2).unwrap();
+    let s = di.session();
+    s.put("item", b"r1", &[(b("c"), b("v"))]).unwrap();
+    assert_eq!(s.private_bytes(), 0);
+    // The sync-full index is of course immediately correct.
+    assert_eq!(di.get_by_index("item", "t", b"v", 10).unwrap().len(), 1);
+}
+
+#[test]
+fn untouched_columns_do_not_pollute_session_state() {
+    let (_d, _cluster, di) = setup();
+    let s = di.session();
+    // Write a non-indexed column: no private entries should appear.
+    s.put("item", b"r1", &[(b("other_col"), b("x"))]).unwrap();
+    assert_eq!(s.private_bytes(), 0);
+}

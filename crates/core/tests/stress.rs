@@ -1,0 +1,164 @@
+//! Concurrency stress tests: many client threads writing and reading
+//! through Diff-Index while flushes, compactions, AUQ drains and crash
+//! recovery happen underneath. The invariant is always the same: after the
+//! dust settles, the index equals the projection of the base table, with no
+//! lost or duplicated entries.
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{verify_index, DiffIndex, IndexScheme, IndexSpec};
+use diff_index_lsm::{LsmOptions, TableOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tempdir_lite::TempDir;
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn small_lsm() -> LsmOptions {
+    LsmOptions {
+        memtable_flush_bytes: 8 * 1024, // frequent flushes under load
+        table: TableOptions { block_size: 512, bloom_bits_per_key: 10 },
+        compaction_trigger: 4,
+        version_retention: u64::MAX,
+        ..LsmOptions::default()
+    }
+}
+
+fn stress(scheme: IndexScheme, threads: usize, ops_per_thread: usize) {
+    let dir = TempDir::new("stress").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 3, lsm: small_lsm() }).unwrap();
+    cluster.create_table("item", 6).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    let handle =
+        di.create_index(IndexSpec::single("ix", "item", "c", scheme), 6).unwrap();
+    let spec = Arc::clone(&handle.spec);
+
+    let version = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let cluster = cluster.clone();
+            let di = di.clone();
+            let version = Arc::clone(&version);
+            scope.spawn(move || {
+                for i in 0..ops_per_thread {
+                    // Rows hashed over the byte space so all regions see load.
+                    let key = (t * ops_per_thread + i) % 64;
+                    let row = format!(
+                        "{}row{key:03}",
+                        char::from((key as u32 * 97 % 250 + 1) as u8)
+                    );
+                    let ver = version.fetch_add(1, Ordering::Relaxed);
+                    let val = format!("val{:02}", ver % 8);
+                    cluster.put("item", row.as_bytes(), &[(b("c"), b(&val))]).unwrap();
+                    if i % 7 == 0 {
+                        // Interleave reads (exercises read-repair under
+                        // concurrency for sync-insert).
+                        let _ = di.get_by_index("item", "ix", val.as_bytes(), 100).unwrap();
+                    }
+                    if i % 23 == 0 && t == 0 {
+                        cluster.flush_table("item").unwrap();
+                    }
+                }
+            });
+        }
+    });
+    di.quiesce("item");
+
+    // Strong check: full index-vs-base verification must be clean (after
+    // read-repairing any sync-insert staleness away).
+    if scheme == IndexScheme::SyncInsert {
+        // Drain staleness through reads (what production would do), then
+        // verify; cleanse would also work but reads are the honest path.
+        for v in 0..8 {
+            let _ = di.get_by_index("item", "ix", format!("val{v:02}").as_bytes(), 10_000).unwrap();
+        }
+    }
+    let report = verify_index(&cluster, &spec).unwrap();
+    assert!(
+        report.is_clean(),
+        "scheme {scheme}: {} stale, {} missing after stress",
+        report.stale_count(),
+        report.missing_count()
+    );
+}
+
+#[test]
+fn stress_sync_full() {
+    stress(IndexScheme::SyncFull, 4, 120);
+}
+
+#[test]
+fn stress_sync_insert() {
+    stress(IndexScheme::SyncInsert, 4, 120);
+}
+
+#[test]
+fn stress_async_simple() {
+    stress(IndexScheme::AsyncSimple, 4, 120);
+}
+
+#[test]
+fn stress_with_crashes_async() {
+    let dir = TempDir::new("stress-crash").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 3, lsm: small_lsm() }).unwrap();
+    cluster.create_table("item", 6).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    let handle =
+        di.create_index(IndexSpec::single("ix", "item", "c", IndexScheme::AsyncSimple), 6)
+            .unwrap();
+    let spec = Arc::clone(&handle.spec);
+
+    // Writers retry on ServerDown (the crash window); a chaos thread
+    // crashes and recovers servers concurrently.
+    let stop = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for t in 0..3usize {
+            let cluster = cluster.clone();
+            scope.spawn(move || {
+                for i in 0..150usize {
+                    let key = (t * 150 + i) % 48;
+                    let row = format!(
+                        "{}row{key:03}",
+                        char::from((key as u32 * 101 % 250 + 1) as u8)
+                    );
+                    let val = format!("val{:02}", (t * 150 + i) % 5);
+                    // Retry through crash windows.
+                    for _ in 0..200 {
+                        match cluster.put("item", row.as_bytes(), &[(b("c"), b(&val))]) {
+                            Ok(_) => break,
+                            Err(_) => std::thread::sleep(std::time::Duration::from_millis(2)),
+                        }
+                    }
+                }
+            });
+        }
+        let cluster2 = cluster.clone();
+        let stop2 = Arc::clone(&stop);
+        scope.spawn(move || {
+            for round in 0..4u32 {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let victim = round % 3;
+                cluster2.crash_server(victim);
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                cluster2.recover().unwrap();
+                cluster2.restart_server(victim);
+            }
+            stop2.store(1, Ordering::Relaxed);
+        });
+    });
+    di.quiesce("item");
+    let report = verify_index(&cluster, &spec).unwrap();
+    assert!(
+        report.is_clean(),
+        "{} stale, {} missing after chaos",
+        report.stale_count(),
+        report.missing_count()
+    );
+    // Every row readable; base scan agrees with per-row gets.
+    let rows = cluster.scan_rows("item", b"", None, u64::MAX, usize::MAX).unwrap();
+    assert!(!rows.is_empty());
+}

@@ -1,0 +1,193 @@
+//! Sharded LRU block cache shared by all tables of an engine (HBase's
+//! *block cache*; the paper warms it before read experiments, §8.1).
+
+use crate::types::Cell;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 16;
+
+/// Cache key: (table id, block offset).
+type BlockId = (u64, u64);
+
+struct Shard {
+    /// Map from block id to (decoded block, LRU tick of last touch).
+    map: HashMap<BlockId, (Arc<Vec<Cell>>, u64, usize)>,
+    bytes: usize,
+    capacity: usize,
+    tick: u64,
+}
+
+impl Shard {
+    fn touch(&mut self, id: BlockId) -> Option<Arc<Vec<Cell>>> {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.map.get_mut(&id)?;
+        entry.1 = tick;
+        Some(Arc::clone(&entry.0))
+    }
+
+    fn insert(&mut self, id: BlockId, cells: Arc<Vec<Cell>>) {
+        let size = block_size(&cells);
+        if size > self.capacity {
+            return; // Oversized block: never cache.
+        }
+        self.tick += 1;
+        if let Some((_, _, old)) = self.map.insert(id, (cells, self.tick, size)) {
+            self.bytes = self.bytes.saturating_sub(old);
+        }
+        self.bytes += size;
+        while self.bytes > self.capacity {
+            // Evict the least-recently-touched entry. Linear scan is fine:
+            // shards stay small and eviction is off the hot path.
+            let Some((&victim, _)) = self.map.iter().min_by_key(|(_, (_, t, _))| *t) else {
+                break;
+            };
+            if let Some((_, _, size)) = self.map.remove(&victim) {
+                self.bytes = self.bytes.saturating_sub(size);
+            }
+        }
+    }
+}
+
+fn block_size(cells: &[Cell]) -> usize {
+    cells.iter().map(Cell::approximate_size).sum::<usize>() + 32
+}
+
+/// Thread-safe sharded LRU cache of decoded data blocks.
+pub struct BlockCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for BlockCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockCache")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl BlockCache {
+    /// Cache with a total byte budget split evenly across shards.
+    pub fn new(capacity_bytes: usize) -> Self {
+        let per_shard = (capacity_bytes / SHARDS).max(1024);
+        Self {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                        capacity: per_shard,
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, id: BlockId) -> &Mutex<Shard> {
+        let h = id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(id.1);
+        &self.shards[(h % SHARDS as u64) as usize]
+    }
+
+    /// Fetch a block if cached.
+    pub fn get(&self, table_id: u64, offset: u64) -> Option<Arc<Vec<Cell>>> {
+        let got = self.shard((table_id, offset)).lock().touch((table_id, offset));
+        match &got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Insert a freshly decoded block.
+    pub fn insert(&self, table_id: u64, offset: u64, cells: Arc<Vec<Cell>>) {
+        self.shard((table_id, offset)).lock().insert((table_id, offset), cells);
+    }
+
+    /// Cumulative cache hits.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative cache misses.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total resident bytes across shards.
+    pub fn resident_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(n: usize) -> Arc<Vec<Cell>> {
+        Arc::new((0..n).map(|i| Cell::put(format!("k{i}"), 1, vec![0u8; 50])).collect())
+    }
+
+    #[test]
+    fn get_after_insert_hits() {
+        let c = BlockCache::new(1 << 20);
+        assert!(c.get(1, 0).is_none());
+        c.insert(1, 0, block(4));
+        assert!(c.get(1, 0).is_some());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn distinct_tables_do_not_collide() {
+        let c = BlockCache::new(1 << 20);
+        c.insert(1, 0, block(1));
+        assert!(c.get(2, 0).is_none());
+        assert!(c.get(1, 4096).is_none());
+    }
+
+    #[test]
+    fn eviction_respects_capacity() {
+        let c = BlockCache::new(16 * 1024);
+        for i in 0..200 {
+            c.insert(i, 0, block(8));
+        }
+        assert!(c.resident_bytes() <= 16 * 1024 + 4096, "resident {} too big", c.resident_bytes());
+    }
+
+    #[test]
+    fn lru_keeps_recently_touched() {
+        let c = BlockCache::new(SHARDS * 2048);
+        // All to one table so hashing spreads across shards; then hammer one id.
+        c.insert(9, 42, block(2));
+        for i in 0..500 {
+            c.insert(9, 1000 + i, block(2));
+            c.get(9, 42); // keep hot
+        }
+        assert!(c.get(9, 42).is_some(), "hot block should survive eviction");
+    }
+
+    #[test]
+    fn oversized_block_is_not_cached() {
+        let c = BlockCache::new(SHARDS * 1024);
+        c.insert(1, 0, block(1000)); // ~50KB > 1KB shard capacity
+        assert!(c.get(1, 0).is_none());
+    }
+
+    #[test]
+    fn reinsert_replaces_and_keeps_accounting_sane() {
+        let c = BlockCache::new(1 << 20);
+        c.insert(1, 0, block(4));
+        let b1 = c.resident_bytes();
+        c.insert(1, 0, block(4));
+        assert_eq!(c.resident_bytes(), b1);
+    }
+}

@@ -1,0 +1,942 @@
+//! The LSM tree engine: durable `put`/`get`/`delete`/`scan` over one
+//! memtable, one write-ahead log segment, and a stack of SSTables, with
+//! flush and compaction (Figure 2 of the paper).
+//!
+//! One `LsmTree` corresponds to one column-family store inside one region —
+//! a region server in `diff-index-cluster` hosts many of them.
+
+use crate::cache::BlockCache;
+use crate::compaction::{gc_merge, should_compact, GcPolicy};
+use crate::memtable::MemTable;
+use crate::merge::{MergeIter, VisibleIter};
+use crate::metrics::Metrics;
+use crate::sstable::{Table, TableBuilder, TableOptions};
+use crate::types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp, VersionedValue};
+use crate::wal::{replay, WalWriter};
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Engine tuning options.
+#[derive(Clone)]
+pub struct LsmOptions {
+    /// Flush the memtable once its approximate size exceeds this.
+    pub memtable_flush_bytes: usize,
+    /// SSTable construction knobs.
+    pub table: TableOptions,
+    /// `fsync` the WAL on every append (true = fully durable, slower).
+    pub wal_sync: bool,
+    /// Shared block cache; `None` disables caching.
+    pub block_cache: Option<Arc<BlockCache>>,
+    /// Trigger a major compaction when this many tables exist (0 = never).
+    pub compaction_trigger: usize,
+    /// Shadowed versions younger than this many timestamp units survive
+    /// compaction, so recent `RB(k, t−δ)` snapshot reads stay answerable.
+    pub version_retention: Timestamp,
+    /// Automatically flush when the memtable crosses the threshold.
+    pub auto_flush: bool,
+    /// Automatically compact when the trigger is reached after a flush.
+    pub auto_compact: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        Self {
+            memtable_flush_bytes: 4 * 1024 * 1024,
+            table: TableOptions::default(),
+            wal_sync: false,
+            block_cache: Some(Arc::new(BlockCache::new(32 * 1024 * 1024))),
+            compaction_trigger: 4,
+            version_retention: 60_000,
+            auto_flush: true,
+            auto_compact: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for LsmOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmOptions")
+            .field("memtable_flush_bytes", &self.memtable_flush_bytes)
+            .field("wal_sync", &self.wal_sync)
+            .field("compaction_trigger", &self.compaction_trigger)
+            .field("version_retention", &self.version_retention)
+            .finish()
+    }
+}
+
+/// Hook invoked around memtable flushes. Diff-Index registers a `pre_flush`
+/// hook that pauses and drains the AUQ (the paper's Figure 5: "1. pause &
+/// drain" happens before "2. flush" and "3. roll forward").
+pub type FlushHook = Box<dyn Fn() + Send + Sync>;
+
+struct Inner {
+    memtable: MemTable,
+    wal: Option<WalWriter>,
+    wal_no: u64,
+    /// Newest first.
+    tables: Vec<Arc<Table>>,
+    next_file_no: u64,
+}
+
+/// A single LSM tree, durable under a directory.
+pub struct LsmTree {
+    dir: PathBuf,
+    opts: LsmOptions,
+    inner: RwLock<Inner>,
+    /// Serializes flush/compaction against each other.
+    maintenance: Mutex<()>,
+    metrics: Arc<Metrics>,
+    pre_flush_hooks: RwLock<Vec<FlushHook>>,
+    post_flush_hooks: RwLock<Vec<FlushHook>>,
+}
+
+impl std::fmt::Debug for LsmTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LsmTree").field("dir", &self.dir).finish()
+    }
+}
+
+fn wal_path(dir: &Path, no: u64) -> PathBuf {
+    dir.join(format!("wal-{no:010}.log"))
+}
+
+fn table_path(dir: &Path, no: u64) -> PathBuf {
+    dir.join(format!("{no:010}.sst"))
+}
+
+impl LsmTree {
+    /// Open (or create) an engine under `dir`, replaying any WAL segments
+    /// left behind by a crash.
+    pub fn open(dir: impl Into<PathBuf>, opts: LsmOptions) -> Result<Self> {
+        Ok(Self::open_with_replay(dir, opts)?.0)
+    }
+
+    /// Like [`LsmTree::open`], but also returns the cells recovered from WAL
+    /// replay. Diff-Index's failure-recovery protocol (§5.3 of the paper)
+    /// re-enqueues every replayed base put into the AUQ, so the caller needs
+    /// to see them.
+    pub fn open_with_replay(dir: impl Into<PathBuf>, opts: LsmOptions) -> Result<(Self, Vec<Cell>)> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let metrics = Arc::new(Metrics::new());
+
+        // 1. Manifest → live tables.
+        let (table_nos, mut next_file_no) = read_manifest(&dir)?;
+        let mut tables = Vec::with_capacity(table_nos.len());
+        for &no in table_nos.iter().rev() {
+            // Manifest lists oldest first; we keep newest first.
+            tables.push(Arc::new(Table::open(
+                table_path(&dir, no),
+                no,
+                opts.block_cache.clone(),
+            )?));
+        }
+
+        // 2. Replay leftover WAL segments (oldest first) into the memtable.
+        let mut wal_nos: Vec<u64> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let num = name.strip_prefix("wal-")?.strip_suffix(".log")?;
+                num.parse::<u64>().ok()
+            })
+            .collect();
+        wal_nos.sort_unstable();
+        let mut memtable = MemTable::new();
+        let mut replayed = Vec::new();
+        for &no in &wal_nos {
+            let r = replay(wal_path(&dir, no))?;
+            for c in r.cells {
+                replayed.push(c);
+            }
+            next_file_no = next_file_no.max(no + 1);
+        }
+        for c in &replayed {
+            memtable.insert(c.clone());
+        }
+
+        // 3. Fresh WAL segment; re-log replayed cells so a second crash
+        //    before the next flush still recovers them, then drop the old
+        //    segments.
+        let wal_no = next_file_no;
+        next_file_no += 1;
+        let mut wal = WalWriter::create(wal_path(&dir, wal_no), opts.wal_sync)?;
+        if !replayed.is_empty() {
+            wal.append(&replayed)?;
+            wal.sync()?;
+        }
+        for &no in &wal_nos {
+            std::fs::remove_file(wal_path(&dir, no))?;
+        }
+
+        let tree = Self {
+            dir,
+            opts,
+            inner: RwLock::new(Inner { memtable, wal: Some(wal), wal_no, tables, next_file_no }),
+            maintenance: Mutex::new(()),
+            metrics,
+            pre_flush_hooks: RwLock::new(Vec::new()),
+            post_flush_hooks: RwLock::new(Vec::new()),
+        };
+        Ok((tree, replayed))
+    }
+
+    /// Directory this engine persists under.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Engine counters.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Register a hook that runs immediately before each memtable flush.
+    pub fn add_pre_flush_hook(&self, hook: FlushHook) {
+        self.pre_flush_hooks.write().push(hook);
+    }
+
+    /// Register a hook that runs immediately after each memtable flush.
+    pub fn add_post_flush_hook(&self, hook: FlushHook) {
+        self.post_flush_hooks.write().push(hook);
+    }
+
+    // -- writes ------------------------------------------------------------
+
+    /// Append a batch of cells atomically (one WAL record).
+    pub fn write_batch(&self, cells: &[Cell]) -> Result<()> {
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let needs_flush = {
+            let mut inner = self.inner.write();
+            let wal = inner
+                .wal
+                .as_mut()
+                .ok_or_else(|| LsmError::InvalidOperation("engine closed".into()))?;
+            wal.append(cells)?;
+            Metrics::bump(&self.metrics.wal_appends);
+            for c in cells {
+                match c.key.kind {
+                    CellKind::Put => Metrics::bump(&self.metrics.puts),
+                    CellKind::Delete => Metrics::bump(&self.metrics.deletes),
+                }
+                inner.memtable.insert(c.clone());
+            }
+            self.opts.auto_flush
+                && inner.memtable.approximate_bytes() >= self.opts.memtable_flush_bytes
+        };
+        if needs_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Write one value cell.
+    pub fn put(&self, key: impl Into<Bytes>, ts: Timestamp, value: impl Into<Bytes>) -> Result<()> {
+        self.write_batch(&[Cell::put(key.into(), ts, value.into())])
+    }
+
+    /// Write one tombstone.
+    pub fn delete(&self, key: impl Into<Bytes>, ts: Timestamp) -> Result<()> {
+        self.write_batch(&[Cell::delete(key.into(), ts)])
+    }
+
+    // -- reads ---------------------------------------------------------------
+
+    /// Newest cell (tombstones included) for `key` visible at `ts`.
+    pub fn get_versioned(&self, key: &[u8], ts: Timestamp) -> Result<Option<Cell>> {
+        Metrics::bump(&self.metrics.gets);
+        let inner = self.inner.read();
+        let mut best: Option<Cell> = inner.memtable.get_versioned(key, ts);
+        for table in &inner.tables {
+            if let Some(b) = &best {
+                // No older table can beat a candidate at least as new as
+                // everything the table holds.
+                if b.key.ts >= table.properties().max_ts {
+                    Metrics::bump(&self.metrics.tables_skipped);
+                    continue;
+                }
+            }
+            if table.outside_key_range(key) || table.definitely_absent(key) {
+                Metrics::bump(&self.metrics.tables_skipped);
+                continue;
+            }
+            Metrics::bump(&self.metrics.tables_probed);
+            if let Some(c) = table.get_versioned(key, ts)? {
+                let better = match &best {
+                    None => true,
+                    Some(b) => c.key < b.key, // smaller internal key = newer
+                };
+                if better {
+                    best = Some(c);
+                }
+            }
+        }
+        Ok(best)
+    }
+
+    /// Newest visible value for `key` at `ts`, hiding tombstones.
+    pub fn get(&self, key: &[u8], ts: Timestamp) -> Result<Option<VersionedValue>> {
+        Ok(match self.get_versioned(key, ts)? {
+            Some(c) if c.key.kind == CellKind::Put => {
+                Some(VersionedValue { value: c.value, ts: c.key.ts })
+            }
+            _ => None,
+        })
+    }
+
+    /// Latest visible value (snapshot = ∞).
+    pub fn get_latest(&self, key: &[u8]) -> Result<Option<VersionedValue>> {
+        self.get(key, Timestamp::MAX)
+    }
+
+    /// Scan user keys in `[start, end)` at snapshot `ts`, returning up to
+    /// `limit` visible rows (newest visible version per key).
+    pub fn scan(
+        &self,
+        start: &[u8],
+        end: Option<&[u8]>,
+        ts: Timestamp,
+        limit: usize,
+    ) -> Result<Vec<(Bytes, VersionedValue)>> {
+        Metrics::bump(&self.metrics.scans);
+        let inner = self.inner.read();
+        let seek = InternalKey::seek_to(Bytes::copy_from_slice(start), Timestamp::MAX);
+        let end_owned: Option<Bytes> = end.map(Bytes::copy_from_slice);
+
+        let mut sources: Vec<Box<dyn Iterator<Item = Cell> + '_>> = Vec::new();
+        sources.push(Box::new(inner.memtable.range(start, end)));
+        for table in &inner.tables {
+            let end_for_table = end_owned.clone();
+            let it = table
+                .iter_from(Some(&seek))
+                .take_while(move |c| match &end_for_table {
+                    Some(e) => c.key.user_key < *e,
+                    None => true,
+                });
+            sources.push(Box::new(it));
+        }
+        let merged = MergeIter::new(sources);
+        let visible = VisibleIter::new(merged, ts);
+        Ok(visible
+            .take(limit)
+            .map(|c| (c.key.user_key, VersionedValue { value: c.value, ts: c.key.ts }))
+            .collect())
+    }
+
+    // -- maintenance ---------------------------------------------------------
+
+    /// Flush the memtable to a new SSTable, then roll the WAL forward
+    /// (delete the old segment). Runs the registered pre/post flush hooks.
+    pub fn flush(&self) -> Result<()> {
+        {
+            let _guard = self.maintenance.lock();
+            // Paper §5.3 / Figure 5: "1. pause & drain (AUQ)" before flush.
+            for hook in self.pre_flush_hooks.read().iter() {
+                hook();
+            }
+            let result = self.flush_locked();
+            // "4. resume" — even if the flush failed.
+            for hook in self.post_flush_hooks.read().iter() {
+                hook();
+            }
+            result?;
+        } // release the maintenance lock before compacting (non-reentrant)
+
+        let table_count = self.inner.read().tables.len();
+        if self.opts.auto_compact && should_compact(table_count, self.opts.compaction_trigger) {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    fn flush_locked(&self) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let file_no = inner.next_file_no;
+        inner.next_file_no += 1;
+        let path = table_path(&self.dir, file_no);
+        let mut builder = TableBuilder::create(&path, self.opts.table.clone())?;
+        for cell in inner.memtable.iter() {
+            builder.add(&cell)?;
+        }
+        let props = builder.finish()?;
+        Metrics::bump(&self.metrics.flushes);
+        Metrics::add(&self.metrics.bytes_flushed, props.file_size);
+        let table = Arc::new(Table::open(&path, file_no, self.opts.block_cache.clone())?);
+        inner.tables.insert(0, table);
+
+        // Persist the new table list before deleting the WAL: a crash in
+        // between only costs a harmless re-replay of already-flushed data.
+        let nos: Vec<u64> = inner.tables.iter().rev().map(|t| t.id()).collect();
+        write_manifest(&self.dir, &nos, inner.next_file_no + 1)?;
+
+        let old_wal_no = inner.wal_no;
+        let new_wal_no = inner.next_file_no;
+        inner.next_file_no += 1;
+        inner.wal = None; // close old writer before unlinking
+        std::fs::remove_file(wal_path(&self.dir, old_wal_no))?;
+        inner.wal = Some(WalWriter::create(wal_path(&self.dir, new_wal_no), self.opts.wal_sync)?);
+        inner.wal_no = new_wal_no;
+        inner.memtable = MemTable::new();
+        Ok(())
+    }
+
+    /// Major compaction: merge all SSTables into one, garbage-collecting
+    /// shadowed versions and expired tombstones (Figure 2c).
+    pub fn compact(&self) -> Result<()> {
+        let _guard = self.maintenance.lock();
+        let tables: Vec<Arc<Table>> = {
+            let inner = self.inner.read();
+            inner.tables.clone()
+        };
+        if tables.len() < 2 {
+            return Ok(());
+        }
+        let max_ts = tables.iter().map(|t| t.properties().max_ts).max().unwrap_or(0);
+        let policy = GcPolicy {
+            retain_after: max_ts.saturating_sub(self.opts.version_retention),
+            drop_tombstones: true,
+        };
+
+        let file_no = {
+            let mut inner = self.inner.write();
+            let no = inner.next_file_no;
+            inner.next_file_no += 1;
+            no
+        };
+        let path = table_path(&self.dir, file_no);
+        let sources: Vec<Box<dyn Iterator<Item = Cell> + '_>> =
+            tables.iter().map(|t| Box::new(t.iter_from(None)) as _).collect();
+        let merged = MergeIter::new(sources);
+        let mut gc = gc_merge(merged, policy);
+        let mut builder = TableBuilder::create(&path, self.opts.table.clone())?;
+        for cell in gc.by_ref() {
+            builder.add(&cell)?;
+        }
+        let stats = gc.stats();
+        Metrics::add(
+            &self.metrics.gc_dropped_cells,
+            stats.dropped_versions + stats.dropped_tombstones,
+        );
+
+        let new_table = if builder.cell_count() > 0 {
+            let props = builder.finish()?;
+            Metrics::add(&self.metrics.bytes_compacted, props.file_size);
+            Some(Arc::new(Table::open(&path, file_no, self.opts.block_cache.clone())?))
+        } else {
+            // Everything was garbage-collected; no output table.
+            drop(builder);
+            let _ = std::fs::remove_file(&path);
+            None
+        };
+        Metrics::bump(&self.metrics.compactions);
+
+        let old_paths: Vec<PathBuf> = {
+            let mut inner = self.inner.write();
+            // Tables flushed *during* this compaction (none today — the
+            // maintenance lock serializes — but be defensive) stay in front.
+            let compacted_ids: Vec<u64> = tables.iter().map(|t| t.id()).collect();
+            let old_paths = inner
+                .tables
+                .iter()
+                .filter(|t| compacted_ids.contains(&t.id()))
+                .map(|t| t.path().to_path_buf())
+                .collect();
+            inner.tables.retain(|t| !compacted_ids.contains(&t.id()));
+            if let Some(t) = new_table {
+                inner.tables.push(t);
+            }
+            let nos: Vec<u64> = inner.tables.iter().rev().map(|t| t.id()).collect();
+            write_manifest(&self.dir, &nos, inner.next_file_no)?;
+            old_paths
+        };
+        for p in old_paths {
+            let _ = std::fs::remove_file(p);
+        }
+        Ok(())
+    }
+
+    // -- introspection -------------------------------------------------------
+
+    /// Number of on-disk tables.
+    pub fn table_count(&self) -> usize {
+        self.inner.read().tables.len()
+    }
+
+    /// Approximate bytes in the memtable.
+    pub fn memtable_bytes(&self) -> usize {
+        self.inner.read().memtable.approximate_bytes()
+    }
+
+    /// Number of cells currently in the memtable.
+    pub fn memtable_cells(&self) -> usize {
+        self.inner.read().memtable.len()
+    }
+
+    /// Largest timestamp stored anywhere in this tree (memtable or
+    /// SSTables). Recovery uses it to advance the adopting server's clock
+    /// past everything the previous owner wrote.
+    pub fn max_timestamp(&self) -> Timestamp {
+        let inner = self.inner.read();
+        inner
+            .tables
+            .iter()
+            .map(|t| t.properties().max_ts)
+            .chain(std::iter::once(inner.memtable.max_ts()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Drop the engine as a crash would: the memtable vanishes, the WAL and
+    /// SSTables stay. Reopen with [`LsmTree::open`] to recover.
+    pub fn simulate_crash(self) {
+        // Nothing to do: `Drop` performs no flush by design.
+        drop(self);
+    }
+}
+
+// -- manifest ----------------------------------------------------------------
+
+fn read_manifest(dir: &Path) -> Result<(Vec<u64>, u64)> {
+    let path = dir.join("MANIFEST");
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 1)),
+        Err(e) => return Err(e.into()),
+    };
+    let mut tables = Vec::new();
+    let mut next = 1u64;
+    for line in text.lines() {
+        if let Some(v) = line.strip_prefix("next=") {
+            next = v
+                .parse()
+                .map_err(|_| LsmError::Corruption(format!("manifest: bad next {v:?}")))?;
+        } else if let Some(v) = line.strip_prefix("table=") {
+            tables.push(
+                v.parse()
+                    .map_err(|_| LsmError::Corruption(format!("manifest: bad table {v:?}")))?,
+            );
+        }
+    }
+    Ok((tables, next))
+}
+
+fn write_manifest(dir: &Path, table_nos_oldest_first: &[u64], next: u64) -> Result<()> {
+    let tmp = dir.join("MANIFEST.tmp");
+    let path = dir.join("MANIFEST");
+    let mut text = format!("next={next}\n");
+    for no in table_nos_oldest_first {
+        text.push_str(&format!("table={no}\n"));
+    }
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, &path)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempdir_lite::TempDir;
+
+    fn small_opts() -> LsmOptions {
+        LsmOptions {
+            memtable_flush_bytes: 1024,
+            table: TableOptions { block_size: 256, bloom_bits_per_key: 10 },
+            wal_sync: false,
+            block_cache: Some(Arc::new(BlockCache::new(1 << 20))),
+            compaction_trigger: 4,
+            version_retention: 10,
+            auto_flush: true,
+            auto_compact: true,
+        }
+    }
+
+    fn manual_opts() -> LsmOptions {
+        LsmOptions { auto_flush: false, auto_compact: false, ..small_opts() }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("k1", 10, "v1").unwrap();
+        db.put("k2", 11, "v2").unwrap();
+        assert_eq!(db.get_latest(b"k1").unwrap().unwrap().value, Bytes::from("v1"));
+        assert_eq!(db.get_latest(b"k2").unwrap().unwrap().ts, 11);
+        assert!(db.get_latest(b"k3").unwrap().is_none());
+    }
+
+    #[test]
+    fn update_is_new_version_old_still_readable() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("k", 10, "old").unwrap();
+        db.put("k", 20, "new").unwrap();
+        assert_eq!(db.get_latest(b"k").unwrap().unwrap().value, Bytes::from("new"));
+        // The paper's RB(k, tnew − δ):
+        let old = db.get(b"k", 19).unwrap().unwrap();
+        assert_eq!(old.value, Bytes::from("old"));
+        assert_eq!(old.ts, 10);
+    }
+
+    #[test]
+    fn delete_writes_tombstone() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("k", 10, "v").unwrap();
+        db.delete("k", 20).unwrap();
+        assert!(db.get_latest(b"k").unwrap().is_none());
+        assert!(db.get(b"k", 15).unwrap().is_some(), "snapshot before delete sees value");
+        let c = db.get_versioned(b"k", u64::MAX).unwrap().unwrap();
+        assert!(c.is_tombstone());
+    }
+
+    #[test]
+    fn get_spans_memtable_and_tables() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("a", 1, "a1").unwrap();
+        db.flush().unwrap();
+        db.put("b", 2, "b2").unwrap();
+        db.flush().unwrap();
+        db.put("c", 3, "c3").unwrap();
+        assert_eq!(db.table_count(), 2);
+        for (k, v) in [("a", "a1"), ("b", "b2"), ("c", "c3")] {
+            assert_eq!(db.get_latest(k.as_bytes()).unwrap().unwrap().value, Bytes::from(v));
+        }
+    }
+
+    #[test]
+    fn newest_version_wins_across_components() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("k", 10, "in-table").unwrap();
+        db.flush().unwrap();
+        db.put("k", 20, "in-memtable").unwrap();
+        assert_eq!(db.get_latest(b"k").unwrap().unwrap().value, Bytes::from("in-memtable"));
+
+        // Put with an *older* explicit timestamp into the memtable: the
+        // flushed version must still win.
+        db.put("k", 5, "stale-write").unwrap();
+        assert_eq!(db.get_latest(b"k").unwrap().unwrap().value, Bytes::from("in-memtable"));
+    }
+
+    #[test]
+    fn scan_merges_components_and_respects_limit() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        for i in 0..10 {
+            db.put(format!("k{i}"), 10 + i, format!("v{i}")).unwrap();
+            if i == 4 {
+                db.flush().unwrap();
+            }
+        }
+        let all = db.scan(b"k0", None, u64::MAX, usize::MAX).unwrap();
+        assert_eq!(all.len(), 10);
+        assert_eq!(all[0].0, Bytes::from("k0"));
+        assert_eq!(all[9].0, Bytes::from("k9"));
+
+        let bounded = db.scan(b"k3", Some(b"k7"), u64::MAX, usize::MAX).unwrap();
+        assert_eq!(bounded.len(), 4);
+
+        let limited = db.scan(b"k0", None, u64::MAX, 3).unwrap();
+        assert_eq!(limited.len(), 3);
+    }
+
+    #[test]
+    fn scan_hides_deleted_and_shadowed() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("a", 10, "a-old").unwrap();
+        db.put("b", 10, "b").unwrap();
+        db.flush().unwrap();
+        db.put("a", 20, "a-new").unwrap();
+        db.delete("b", 20).unwrap();
+        let rows = db.scan(b"", None, u64::MAX, usize::MAX).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1.value, Bytes::from("a-new"));
+
+        // Snapshot scan at ts=15 sees the pre-update world.
+        let rows = db.scan(b"", None, 15, usize::MAX).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1.value, Bytes::from("a-old"));
+    }
+
+    #[test]
+    fn auto_flush_on_threshold() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), LsmOptions { auto_compact: false, ..small_opts() })
+            .unwrap();
+        for i in 0..100 {
+            db.put(format!("key{i:04}"), i, vec![b'x'; 64]).unwrap();
+        }
+        assert!(db.table_count() >= 1, "threshold crossing must trigger flush");
+        assert!(db.metrics().snapshot().flushes >= 1);
+        for i in (0..100).step_by(17) {
+            assert!(db.get_latest(format!("key{i:04}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn auto_compaction_keeps_table_count_bounded() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), small_opts()).unwrap();
+        for i in 0..400 {
+            db.put(format!("key{:04}", i % 50), 1000 + i, vec![b'x'; 64]).unwrap();
+        }
+        assert!(db.table_count() < 4 + 2, "compaction should bound table count");
+        assert!(db.metrics().snapshot().compactions >= 1);
+        // All 50 keys still readable with their newest values.
+        for k in 0..50 {
+            assert!(db.get_latest(format!("key{k:04}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn compaction_gc_drops_old_versions_keeps_recent() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap(); // retention = 10
+        db.put("k", 100, "v100").unwrap();
+        db.flush().unwrap();
+        db.put("k", 200, "v200").unwrap();
+        db.flush().unwrap();
+        db.put("k", 205, "v205").unwrap();
+        db.flush().unwrap();
+        db.compact().unwrap();
+        assert_eq!(db.table_count(), 1);
+        // v205 newest, v200 within retention (205-10=195), v100 GC'd.
+        assert_eq!(db.get_latest(b"k").unwrap().unwrap().value, Bytes::from("v205"));
+        assert_eq!(db.get(b"k", 204).unwrap().unwrap().value, Bytes::from("v200"));
+        assert!(db.get(b"k", 199).unwrap().is_none(), "pre-retention version was GC'd");
+        assert!(db.metrics().snapshot().gc_dropped_cells >= 1);
+    }
+
+    #[test]
+    fn compaction_purges_tombstoned_keys_entirely() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("dead", 100, "v").unwrap();
+        db.flush().unwrap();
+        db.delete("dead", 110).unwrap();
+        db.put("alive", 200, "v").unwrap(); // pushes max_ts well past retention
+        db.flush().unwrap();
+        db.compact().unwrap();
+        assert!(db.get_latest(b"dead").unwrap().is_none());
+        assert_eq!(db.table_count(), 1);
+        let rows = db.scan(b"", None, u64::MAX, usize::MAX).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Bytes::from("alive"));
+    }
+
+    #[test]
+    fn crash_recovery_replays_wal() {
+        let dir = TempDir::new("lsm").unwrap();
+        {
+            let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+            db.put("durable", 10, "yes").unwrap();
+            db.put("durable2", 11, "also").unwrap();
+            db.simulate_crash();
+        }
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        assert_eq!(db.get_latest(b"durable").unwrap().unwrap().value, Bytes::from("yes"));
+        assert_eq!(db.get_latest(b"durable2").unwrap().unwrap().ts, 11);
+    }
+
+    #[test]
+    fn crash_recovery_after_flush_and_more_writes() {
+        let dir = TempDir::new("lsm").unwrap();
+        {
+            let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+            db.put("flushed", 10, "on-disk").unwrap();
+            db.flush().unwrap();
+            db.put("unflushed", 20, "in-wal").unwrap();
+            db.simulate_crash();
+        }
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        assert_eq!(db.get_latest(b"flushed").unwrap().unwrap().value, Bytes::from("on-disk"));
+        assert_eq!(db.get_latest(b"unflushed").unwrap().unwrap().value, Bytes::from("in-wal"));
+        assert_eq!(db.table_count(), 1);
+    }
+
+    #[test]
+    fn double_crash_still_recovers() {
+        let dir = TempDir::new("lsm").unwrap();
+        {
+            let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+            db.put("k", 10, "v").unwrap();
+            db.simulate_crash();
+        }
+        {
+            // Recover, write more, crash again before flushing.
+            let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+            db.put("k2", 20, "v2").unwrap();
+            db.simulate_crash();
+        }
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        assert!(db.get_latest(b"k").unwrap().is_some());
+        assert!(db.get_latest(b"k2").unwrap().is_some());
+    }
+
+    #[test]
+    fn reopen_clean_shutdown_after_flush() {
+        let dir = TempDir::new("lsm").unwrap();
+        {
+            let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+            for i in 0..20 {
+                db.put(format!("k{i}"), i, format!("v{i}")).unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        for i in 0..20 {
+            assert_eq!(
+                db.get_latest(format!("k{i}").as_bytes()).unwrap().unwrap().value,
+                Bytes::from(format!("v{i}"))
+            );
+        }
+    }
+
+    #[test]
+    fn flush_hooks_run_in_order() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        let log = Arc::new(Mutex::new(Vec::<&'static str>::new()));
+        let l1 = Arc::clone(&log);
+        db.add_pre_flush_hook(Box::new(move || l1.lock().push("pre")));
+        let l2 = Arc::clone(&log);
+        db.add_post_flush_hook(Box::new(move || l2.lock().push("post")));
+        db.put("k", 1, "v").unwrap();
+        db.flush().unwrap();
+        assert_eq!(*log.lock(), vec!["pre", "post"]);
+    }
+
+    #[test]
+    fn empty_flush_is_noop_but_hooks_still_run() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        let ran = Arc::new(Mutex::new(0));
+        let r = Arc::clone(&ran);
+        db.add_pre_flush_hook(Box::new(move || *r.lock() += 1));
+        db.flush().unwrap();
+        assert_eq!(db.table_count(), 0);
+        assert_eq!(*ran.lock(), 1);
+    }
+
+    #[test]
+    fn write_batch_is_atomic_in_wal() {
+        let dir = TempDir::new("lsm").unwrap();
+        {
+            let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+            db.write_batch(&[
+                Cell::put("row/c1", 10, "a"),
+                Cell::put("row/c2", 10, "b"),
+                Cell::put("row/c3", 10, "c"),
+            ])
+            .unwrap();
+            db.simulate_crash();
+        }
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        for c in ["c1", "c2", "c3"] {
+            assert!(db.get_latest(format!("row/{c}").as_bytes()).unwrap().is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_count_operations() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(dir.path(), manual_opts()).unwrap();
+        db.put("k", 1, "v").unwrap();
+        db.delete("k2", 2).unwrap();
+        db.get_latest(b"k").unwrap();
+        db.scan(b"", None, u64::MAX, 10).unwrap();
+        let s = db.metrics().snapshot();
+        assert_eq!(s.puts, 1);
+        assert_eq!(s.deletes, 1);
+        assert_eq!(s.gets, 1);
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.wal_appends, 2);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = Arc::new(
+            LsmTree::open(dir.path(), LsmOptions { auto_compact: true, ..small_opts() }).unwrap(),
+        );
+        let writer = {
+            let db = Arc::clone(&db);
+            std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    db.put(format!("key{:03}", i % 100), 1000 + i, format!("v{i}")).unwrap();
+                }
+            })
+        };
+        let readers: Vec<_> = (0..4)
+            .map(|r| {
+                let db = Arc::clone(&db);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        let k = format!("key{:03}", (i + r * 13) % 100);
+                        let _ = db.get_latest(k.as_bytes()).unwrap();
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        // Every key eventually readable with some version.
+        let rows = db.scan(b"", None, u64::MAX, usize::MAX).unwrap();
+        assert_eq!(rows.len(), 100);
+    }
+}
+
+#[cfg(test)]
+mod cache_sharing_tests {
+    use super::*;
+    use tempdir_lite::TempDir;
+
+    /// Regression test: two engines sharing one block cache must not serve
+    /// each other's blocks. Their SSTable file numbers coincide (both start
+    /// at 1), so cache keys must not be derived from file numbers.
+    #[test]
+    fn shared_cache_across_engines_does_not_collide() {
+        let dir = TempDir::new("lsm-shared").unwrap();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let opts = || LsmOptions {
+            block_cache: Some(Arc::clone(&cache)),
+            auto_flush: false,
+            auto_compact: false,
+            ..LsmOptions::default()
+        };
+        let a = LsmTree::open(dir.path().join("a"), opts()).unwrap();
+        let b = LsmTree::open(dir.path().join("b"), opts()).unwrap();
+        for i in 0..50 {
+            a.put(format!("key{i:02}"), 10, "from-a").unwrap();
+            b.put(format!("key{i:02}"), 10, "from-b").unwrap();
+        }
+        a.flush().unwrap();
+        b.flush().unwrap();
+        // Warm the cache with A's blocks, then read B: values must be B's.
+        for i in 0..50 {
+            assert_eq!(
+                a.get_latest(format!("key{i:02}").as_bytes()).unwrap().unwrap().value,
+                bytes::Bytes::from("from-a")
+            );
+        }
+        for i in 0..50 {
+            assert_eq!(
+                b.get_latest(format!("key{i:02}").as_bytes()).unwrap().unwrap().value,
+                bytes::Bytes::from("from-b"),
+                "engine B must never see engine A's cached blocks"
+            );
+        }
+    }
+}

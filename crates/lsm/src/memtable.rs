@@ -1,0 +1,231 @@
+//! In-memory sorted, multi-version component of the LSM tree (the paper's
+//! *mem-store*, HBase's *Memtable*).
+//!
+//! All versions of a key coexist: a `put` appends a new `(key, ts)` cell and
+//! never modifies earlier cells — the "no in-place update" property the paper
+//! builds on.
+
+use crate::types::{Cell, CellKind, InternalKey, Timestamp, VersionedValue};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// Sorted multi-version in-memory store.
+///
+/// Backed by a `BTreeMap<InternalKey, Bytes>`; the internal-key ordering puts
+/// newer versions of a user key first, so point lookups are a single
+/// range-seek.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<InternalKey, Bytes>,
+    approximate_bytes: usize,
+    max_ts: Timestamp,
+}
+
+impl MemTable {
+    /// Empty memtable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a cell (put or tombstone). Re-inserting an identical
+    /// `(key, ts, kind)` cell is idempotent, which the Diff-Index failure
+    /// recovery protocol relies on (§5.3: replayed AUQ deliveries).
+    pub fn insert(&mut self, cell: Cell) {
+        self.approximate_bytes += cell.approximate_size();
+        self.max_ts = self.max_ts.max(cell.key.ts);
+        if let Some(prev) = self.map.insert(cell.key, cell.value) {
+            // Overwritten duplicate: give back its value bytes.
+            self.approximate_bytes = self.approximate_bytes.saturating_sub(prev.len());
+        }
+    }
+
+    /// Latest version of `user_key` visible at `ts` (i.e. with version
+    /// timestamp `<= ts`). Returns the cell so callers can distinguish
+    /// tombstones from absence.
+    pub fn get_versioned(&self, user_key: &[u8], ts: Timestamp) -> Option<Cell> {
+        let seek = InternalKey::seek_to(Bytes::copy_from_slice(user_key), ts);
+        let (k, v) = self
+            .map
+            .range((Bound::Included(seek), Bound::Unbounded))
+            .next()?;
+        if k.user_key.as_ref() != user_key {
+            return None;
+        }
+        Some(Cell { key: k.clone(), value: v.clone() })
+    }
+
+    /// Latest visible value at `ts`, hiding tombstones.
+    pub fn get(&self, user_key: &[u8], ts: Timestamp) -> Option<VersionedValue> {
+        match self.get_versioned(user_key, ts) {
+            Some(c) if c.key.kind == CellKind::Put => {
+                Some(VersionedValue { value: c.value, ts: c.key.ts })
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterate all cells in internal-key order (all versions, tombstones
+    /// included). Used by flush and merging reads.
+    pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
+        self.map
+            .iter()
+            .map(|(k, v)| Cell { key: k.clone(), value: v.clone() })
+    }
+
+    /// Iterate cells whose user key lies in `[start, end)` (all versions).
+    pub fn range<'a>(
+        &'a self,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> impl Iterator<Item = Cell> + 'a {
+        let lo = InternalKey::seek_to(Bytes::copy_from_slice(start), Timestamp::MAX);
+        let hi: Option<Bytes> = end.map(Bytes::copy_from_slice);
+        self.map
+            .range((Bound::Included(lo), Bound::Unbounded))
+            .take_while(move |(k, _)| match &hi {
+                Some(h) => k.user_key < *h,
+                None => true,
+            })
+            .map(|(k, v)| Cell { key: k.clone(), value: v.clone() })
+    }
+
+    /// Number of stored cells (versions, not distinct user keys).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no cells are stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes, for flush-threshold accounting.
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes
+    }
+
+    /// Largest timestamp of any inserted cell (0 if empty).
+    pub fn max_ts(&self) -> Timestamp {
+        self.max_ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mt(cells: &[Cell]) -> MemTable {
+        let mut m = MemTable::new();
+        for c in cells {
+            m.insert(c.clone());
+        }
+        m
+    }
+
+    #[test]
+    fn get_returns_latest_visible_version() {
+        let m = mt(&[Cell::put("k", 1, "v1"), Cell::put("k", 5, "v5"), Cell::put("k", 3, "v3")]);
+        assert_eq!(m.get(b"k", u64::MAX).unwrap().value, Bytes::from("v5"));
+        assert_eq!(m.get(b"k", 4).unwrap().value, Bytes::from("v3"));
+        assert_eq!(m.get(b"k", 3).unwrap().value, Bytes::from("v3"));
+        assert_eq!(m.get(b"k", 2).unwrap().value, Bytes::from("v1"));
+        assert!(m.get(b"k", 0).is_none());
+    }
+
+    #[test]
+    fn snapshot_read_at_ts_minus_delta_sees_old_value() {
+        // The paper's RB(k, tnew − δ) idiom: read the version right before a
+        // new put, even though the new put is already in the memtable.
+        let m = mt(&[Cell::put("k", 10, "old"), Cell::put("k", 20, "new")]);
+        let got = m.get(b"k", 20 - crate::types::DELTA).unwrap();
+        assert_eq!(got.value, Bytes::from("old"));
+        assert_eq!(got.ts, 10);
+    }
+
+    #[test]
+    fn tombstone_hides_older_versions() {
+        let m = mt(&[Cell::put("k", 1, "v1"), Cell::delete("k", 2)]);
+        assert!(m.get(b"k", 5).is_none());
+        // ...but a snapshot before the delete still sees the value:
+        assert_eq!(m.get(b"k", 1).unwrap().value, Bytes::from("v1"));
+        // get_versioned exposes the tombstone itself:
+        let c = m.get_versioned(b"k", 5).unwrap();
+        assert!(c.is_tombstone());
+    }
+
+    #[test]
+    fn same_timestamp_delete_shadows_put() {
+        let m = mt(&[Cell::put("k", 7, "v"), Cell::delete("k", 7)]);
+        assert!(m.get(b"k", 7).is_none());
+    }
+
+    #[test]
+    fn get_does_not_bleed_into_neighbor_key() {
+        let m = mt(&[Cell::put("a", 1, "va"), Cell::put("c", 1, "vc")]);
+        assert!(m.get(b"b", 10).is_none());
+        assert_eq!(m.get(b"a", 10).unwrap().value, Bytes::from("va"));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut m = MemTable::new();
+        m.insert(Cell::put("k", 1, "v"));
+        m.insert(Cell::put("k", 1, "v"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(b"k", 1).unwrap().value, Bytes::from("v"));
+    }
+
+    #[test]
+    fn iter_is_sorted_newest_version_first() {
+        let m = mt(&[
+            Cell::put("b", 1, "b1"),
+            Cell::put("a", 2, "a2"),
+            Cell::put("a", 9, "a9"),
+        ]);
+        let keys: Vec<(Bytes, u64)> =
+            m.iter().map(|c| (c.key.user_key.clone(), c.key.ts)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (Bytes::from("a"), 9),
+                (Bytes::from("a"), 2),
+                (Bytes::from("b"), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let m = mt(&[
+            Cell::put("a", 1, "1"),
+            Cell::put("b", 1, "1"),
+            Cell::put("c", 1, "1"),
+            Cell::put("d", 1, "1"),
+        ]);
+        let got: Vec<Bytes> =
+            m.range(b"b", Some(b"d")).map(|c| c.key.user_key).collect();
+        assert_eq!(got, vec![Bytes::from("b"), Bytes::from("c")]);
+        let open: Vec<Bytes> = m.range(b"c", None).map(|c| c.key.user_key).collect();
+        assert_eq!(open, vec![Bytes::from("c"), Bytes::from("d")]);
+    }
+
+    #[test]
+    fn approximate_bytes_grows_and_accounts_duplicates() {
+        let mut m = MemTable::new();
+        m.insert(Cell::put("key", 1, "value"));
+        let one = m.approximate_bytes();
+        assert!(one > 0);
+        m.insert(Cell::put("key", 2, "value"));
+        assert!(m.approximate_bytes() > one);
+    }
+
+    #[test]
+    fn empty_checks() {
+        let mut m = MemTable::new();
+        assert!(m.is_empty());
+        m.insert(Cell::put("k", 1, "v"));
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 1);
+    }
+}

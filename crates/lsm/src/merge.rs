@@ -1,0 +1,234 @@
+//! K-way merge of cell streams (memtable + SSTables) in internal-key order,
+//! plus the visibility adaptor that turns an all-versions stream into the
+//! newest-visible-version-per-key view used by scans.
+
+use crate::types::{Cell, CellKind, Timestamp};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One source in the merge, tagged with its age rank (0 = newest component).
+struct Source<'a> {
+    iter: Box<dyn Iterator<Item = Cell> + 'a>,
+    rank: usize,
+}
+
+/// Heap entry: the head cell of one source. `BinaryHeap` is a max-heap, so
+/// the `Ord` impl reverses the comparison to pop the smallest key first.
+struct HeadEntry {
+    cell: Cell,
+    rank: usize,
+}
+
+impl PartialEq for HeadEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cell.key == other.cell.key && self.rank == other.rank
+    }
+}
+impl Eq for HeadEntry {}
+impl PartialOrd for HeadEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeadEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap behaviour: smallest internal key first; ties
+        // broken by rank so the newest component wins.
+        other
+            .cell
+            .key
+            .cmp(&self.cell.key)
+            .then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+/// Merging iterator yielding every cell from every source in internal-key
+/// order. Identical `(key, ts, kind)` cells appearing in several sources are
+/// emitted once, from the newest-ranked source (duplicates arise from WAL
+/// replay and from Diff-Index's idempotent re-deliveries).
+pub struct MergeIter<'a> {
+    heap: BinaryHeap<HeadEntry>,
+    sources: Vec<Source<'a>>,
+    last_emitted: Option<crate::types::InternalKey>,
+}
+
+impl<'a> MergeIter<'a> {
+    /// Build a merge over `iters`, ordered newest component first.
+    pub fn new(iters: Vec<Box<dyn Iterator<Item = Cell> + 'a>>) -> Self {
+        let mut sources: Vec<Source<'a>> = iters
+            .into_iter()
+            .enumerate()
+            .map(|(rank, iter)| Source { iter, rank })
+            .collect();
+        let mut heap = BinaryHeap::new();
+        for s in &mut sources {
+            if let Some(c) = s.iter.next() {
+                heap.push(HeadEntry { cell: c, rank: s.rank });
+            }
+        }
+        Self { heap, sources, last_emitted: None }
+    }
+}
+
+impl<'a> Iterator for MergeIter<'a> {
+    type Item = Cell;
+
+    fn next(&mut self) -> Option<Cell> {
+        loop {
+            let top = self.heap.pop()?;
+            // Refill from the popped source.
+            if let Some(next) = self.sources[top.rank].iter.next() {
+                self.heap.push(HeadEntry { cell: next, rank: top.rank });
+            }
+            if self.last_emitted.as_ref() == Some(&top.cell.key) {
+                continue; // exact duplicate from an older component
+            }
+            self.last_emitted = Some(top.cell.key.clone());
+            return Some(top.cell);
+        }
+    }
+}
+
+/// Adaptor over an internal-key-ordered all-versions stream that yields only
+/// the newest version of each user key visible at `snapshot_ts`, hiding
+/// tombstoned keys. This is the semantics of a scan / multi-row read.
+pub struct VisibleIter<I: Iterator<Item = Cell>> {
+    inner: std::iter::Peekable<I>,
+    snapshot_ts: Timestamp,
+}
+
+impl<I: Iterator<Item = Cell>> VisibleIter<I> {
+    /// Wrap `inner` with snapshot visibility at `snapshot_ts`.
+    pub fn new(inner: I, snapshot_ts: Timestamp) -> Self {
+        Self { inner: inner.peekable(), snapshot_ts }
+    }
+}
+
+impl<I: Iterator<Item = Cell>> Iterator for VisibleIter<I> {
+    type Item = Cell;
+
+    fn next(&mut self) -> Option<Cell> {
+        loop {
+            let cell = self.inner.next()?;
+            let user_key = cell.key.user_key.clone();
+            let mut chosen = if cell.key.ts <= self.snapshot_ts { Some(cell) } else { None };
+            // Consume remaining (older or invisible) versions of this key.
+            while let Some(peek) = self.inner.peek() {
+                if peek.key.user_key != user_key {
+                    break;
+                }
+                let c = self.inner.next().unwrap();
+                if chosen.is_none() && c.key.ts <= self.snapshot_ts {
+                    chosen = Some(c);
+                }
+            }
+            match chosen {
+                Some(c) if c.key.kind == CellKind::Put => return Some(c),
+                _ => continue, // tombstone or nothing visible: key is hidden
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Cell;
+    use bytes::Bytes;
+
+    fn merge(sources: Vec<Vec<Cell>>) -> Vec<Cell> {
+        MergeIter::new(sources.into_iter().map(|v| Box::new(v.into_iter()) as _).collect())
+            .collect()
+    }
+
+    #[test]
+    fn merges_in_internal_order() {
+        let a = vec![Cell::put("a", 5, "a5"), Cell::put("c", 2, "c2")];
+        let b = vec![Cell::put("a", 3, "a3"), Cell::put("b", 9, "b9")];
+        let got = merge(vec![a, b]);
+        let keys: Vec<(Bytes, u64)> =
+            got.iter().map(|c| (c.key.user_key.clone(), c.key.ts)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (Bytes::from("a"), 5),
+                (Bytes::from("a"), 3),
+                (Bytes::from("b"), 9),
+                (Bytes::from("c"), 2)
+            ]
+        );
+    }
+
+    #[test]
+    fn exact_duplicates_collapse_to_newest_source() {
+        let newer = vec![Cell::put("k", 5, "from-new")];
+        let older = vec![Cell::put("k", 5, "from-old")];
+        let got = merge(vec![newer, older]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, Bytes::from("from-new"));
+    }
+
+    #[test]
+    fn empty_sources_are_fine() {
+        assert!(merge(vec![]).is_empty());
+        assert!(merge(vec![vec![], vec![]]).is_empty());
+        let got = merge(vec![vec![], vec![Cell::put("x", 1, "v")]]);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn visible_iter_picks_newest_visible_version() {
+        let all = vec![
+            Cell::put("a", 9, "a9"),
+            Cell::put("a", 4, "a4"),
+            Cell::put("b", 7, "b7"),
+        ];
+        let got: Vec<Cell> = VisibleIter::new(all.clone().into_iter(), u64::MAX).collect();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].value, Bytes::from("a9"));
+        assert_eq!(got[1].value, Bytes::from("b7"));
+
+        // Snapshot at ts=5 sees a4 but not b7.
+        let got: Vec<Cell> = VisibleIter::new(all.into_iter(), 5).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, Bytes::from("a4"));
+    }
+
+    #[test]
+    fn visible_iter_hides_tombstoned_keys() {
+        let all = vec![
+            Cell::delete("a", 9),
+            Cell::put("a", 4, "a4"),
+            Cell::put("b", 7, "b7"),
+        ];
+        let got: Vec<Cell> = VisibleIter::new(all.clone().into_iter(), u64::MAX).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].key.user_key, Bytes::from("b"));
+
+        // But a snapshot before the delete resurrects the old value.
+        let got: Vec<Cell> = VisibleIter::new(all.into_iter(), 5).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, Bytes::from("a4"));
+    }
+
+    #[test]
+    fn visible_iter_skips_fully_invisible_keys() {
+        let all = vec![Cell::put("a", 9, "a9"), Cell::put("b", 7, "b7")];
+        let got: Vec<Cell> = VisibleIter::new(all.into_iter(), 3).collect();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn merge_then_visible_composes() {
+        // Memtable shadows sstable; delete in memtable hides sstable value.
+        let memtable = vec![Cell::delete("a", 10), Cell::put("b", 10, "new-b")];
+        let sstable = vec![Cell::put("a", 5, "old-a"), Cell::put("b", 5, "old-b")];
+        let merged = MergeIter::new(vec![
+            Box::new(memtable.into_iter()) as _,
+            Box::new(sstable.into_iter()) as _,
+        ]);
+        let got: Vec<Cell> = VisibleIter::new(merged, u64::MAX).collect();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].value, Bytes::from("new-b"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Operation counters for the engine.
+//!
+//! These are the evidence behind Table 2 of the paper: the experiment harness
+//! snapshots counters around an index update / index read and compares the
+//! observed `(Base Put, Base Read, Index Put, Index Read)` counts against the
+//! analytic table in `diff-index-core`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! counters {
+    ($(#[$sm:meta] $name:ident),+ $(,)?) => {
+        /// Cumulative engine counters. All methods are lock-free.
+        #[derive(Debug, Default)]
+        pub struct Metrics {
+            $(#[$sm] pub $name: AtomicU64,)+
+        }
+
+        impl Metrics {
+            /// Fresh zeroed counters.
+            pub fn new() -> Self { Self::default() }
+
+            /// Snapshot all counters at once.
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot { $($name: self.$name.load(Ordering::Relaxed),)+ }
+            }
+        }
+
+        /// Point-in-time copy of [`Metrics`]; subtract two snapshots to get
+        /// per-interval deltas.
+        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $(#[$sm] pub $name: u64,)+
+        }
+
+        impl std::ops::Sub for MetricsSnapshot {
+            type Output = MetricsSnapshot;
+            fn sub(self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot { $($name: self.$name.wrapping_sub(rhs.$name),)+ }
+            }
+        }
+
+        impl std::ops::Add for MetricsSnapshot {
+            type Output = MetricsSnapshot;
+            fn add(self, rhs: MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot { $($name: self.$name.wrapping_add(rhs.$name),)+ }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Cells written via `put` (tombstones excluded).
+    puts,
+    /// Tombstones written via `delete`.
+    deletes,
+    /// Point reads (`get` / `get_versioned`).
+    gets,
+    /// Range scans started.
+    scans,
+    /// WAL record appends.
+    wal_appends,
+    /// Memtable flushes completed.
+    flushes,
+    /// Compactions completed.
+    compactions,
+    /// Bytes written to SSTables by flushes.
+    bytes_flushed,
+    /// Bytes written to SSTables by compactions.
+    bytes_compacted,
+    /// SSTables consulted by point reads (read amplification numerator).
+    tables_probed,
+    /// SSTable probes skipped thanks to bloom filters / key ranges.
+    tables_skipped,
+    /// Cells dropped by compaction garbage collection.
+    gc_dropped_cells,
+}
+
+impl Metrics {
+    /// Increment a counter by 1.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_delta() {
+        let m = Metrics::new();
+        Metrics::bump(&m.puts);
+        Metrics::bump(&m.puts);
+        Metrics::add(&m.bytes_flushed, 100);
+        let s1 = m.snapshot();
+        assert_eq!(s1.puts, 2);
+        assert_eq!(s1.bytes_flushed, 100);
+        Metrics::bump(&m.puts);
+        let s2 = m.snapshot();
+        let d = s2 - s1;
+        assert_eq!(d.puts, 1);
+        assert_eq!(d.bytes_flushed, 0);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let s = Metrics::new().snapshot();
+        assert_eq!(s, MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,753 @@
+//! Immutable on-disk sorted table (the paper's *disk store* `C1..Cn`, HBase's
+//! *HTable/HFile*).
+//!
+//! File layout:
+//!
+//! ```text
+//! [data block]* [index block] [bloom block] [footer]
+//! ```
+//!
+//! * **Data block** — cells in internal-key order, each encoded as
+//!   `kind: u8, ts: varint, key: len-prefixed, value: len-prefixed`, followed
+//!   by a CRC-32 of the block body.
+//! * **Index block** — properties (cell count, min/max user key, max ts) plus
+//!   one `(first internal key, offset, len)` entry per data block.
+//! * **Bloom block** — bloom filter over user keys (see [`crate::bloom`]).
+//! * **Footer** — fixed-size: offsets/lengths of index and bloom, a CRC of
+//!   the footer body, and a magic number.
+
+use crate::bloom::{Bloom, BloomBuilder};
+use crate::cache::BlockCache;
+use crate::types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp};
+use crate::util::{
+    crc32, get_len_prefixed, get_u32, get_u64, get_varint, put_len_prefixed, put_u32, put_u64,
+    put_varint,
+};
+use bytes::Bytes;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const MAGIC: u64 = 0xD1FF_1DE8_5574_AB1E;
+const FOOTER_LEN: usize = 8 * 4 + 4 + 8; // 4 u64 fields + crc + magic
+
+/// Tuning knobs for table construction.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Target uncompressed size of one data block.
+    pub block_size: usize,
+    /// Bloom filter budget.
+    pub bloom_bits_per_key: usize,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        Self { block_size: 4096, bloom_bits_per_key: 10 }
+    }
+}
+
+/// Summary of a finished table.
+#[derive(Debug, Clone)]
+pub struct TableProperties {
+    /// Number of cells (versions) stored.
+    pub cell_count: u64,
+    /// Smallest user key.
+    pub min_key: Bytes,
+    /// Largest user key.
+    pub max_key: Bytes,
+    /// Largest cell timestamp (used by compaction GC heuristics).
+    pub max_ts: Timestamp,
+    /// Total file size in bytes.
+    pub file_size: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+/// Streaming SSTable writer. Cells must be appended in strictly increasing
+/// internal-key order.
+pub struct TableBuilder {
+    file: BufWriter<File>,
+    path: PathBuf,
+    opts: TableOptions,
+    block: Vec<u8>,
+    block_first_key: Option<InternalKey>,
+    index: Vec<(InternalKey, u64, u32)>,
+    bloom: BloomBuilder,
+    last_key: Option<InternalKey>,
+    offset: u64,
+    cell_count: u64,
+    min_key: Option<Bytes>,
+    max_key: Option<Bytes>,
+    max_ts: Timestamp,
+}
+
+impl TableBuilder {
+    /// Begin writing a table at `path`.
+    pub fn create(path: impl Into<PathBuf>, opts: TableOptions) -> Result<Self> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(Self {
+            file: BufWriter::new(file),
+            path,
+            bloom: BloomBuilder::new(opts.bloom_bits_per_key),
+            opts,
+            block: Vec::new(),
+            block_first_key: None,
+            index: Vec::new(),
+            last_key: None,
+            offset: 0,
+            cell_count: 0,
+            min_key: None,
+            max_key: None,
+            max_ts: 0,
+        })
+    }
+
+    /// Append the next cell. Returns an error if ordering is violated.
+    pub fn add(&mut self, cell: &Cell) -> Result<()> {
+        if let Some(last) = &self.last_key {
+            if *last >= cell.key {
+                return Err(LsmError::InvalidOperation(format!(
+                    "cells out of order: {:?} then {:?}",
+                    last, cell.key
+                )));
+            }
+        }
+        if self.block_first_key.is_none() {
+            self.block_first_key = Some(cell.key.clone());
+        }
+        self.block.push(cell.key.kind.to_u8());
+        put_varint(&mut self.block, cell.key.ts);
+        put_len_prefixed(&mut self.block, &cell.key.user_key);
+        put_len_prefixed(&mut self.block, &cell.value);
+
+        self.bloom.add(&cell.key.user_key);
+        self.cell_count += 1;
+        self.max_ts = self.max_ts.max(cell.key.ts);
+        if self.min_key.is_none() {
+            self.min_key = Some(cell.key.user_key.clone());
+        }
+        self.max_key = Some(cell.key.user_key.clone());
+        self.last_key = Some(cell.key.clone());
+
+        if self.block.len() >= self.opts.block_size {
+            self.finish_block()?;
+        }
+        Ok(())
+    }
+
+    fn finish_block(&mut self) -> Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let crc = crc32(&self.block);
+        let mut body = std::mem::take(&mut self.block);
+        put_u32(&mut body, crc);
+        let first = self.block_first_key.take().expect("non-empty block has first key");
+        self.index.push((first, self.offset, body.len() as u32));
+        self.file.write_all(&body)?;
+        self.offset += body.len() as u64;
+        Ok(())
+    }
+
+    /// Flush remaining data, write index/bloom/footer, fsync, and return the
+    /// table properties. The builder is consumed.
+    pub fn finish(mut self) -> Result<TableProperties> {
+        if self.cell_count == 0 {
+            return Err(LsmError::InvalidOperation("empty table".into()));
+        }
+        self.finish_block()?;
+
+        // Index block: properties header then per-block entries.
+        let mut index = Vec::new();
+        put_u64(&mut index, self.cell_count);
+        put_len_prefixed(&mut index, self.min_key.as_ref().unwrap());
+        put_len_prefixed(&mut index, self.max_key.as_ref().unwrap());
+        put_u64(&mut index, self.max_ts);
+        put_varint(&mut index, self.index.len() as u64);
+        for (first, off, len) in &self.index {
+            index.push(first.kind.to_u8());
+            put_varint(&mut index, first.ts);
+            put_len_prefixed(&mut index, &first.user_key);
+            put_u64(&mut index, *off);
+            put_u32(&mut index, *len);
+        }
+        let index_crc = crc32(&index);
+        put_u32(&mut index, index_crc);
+        let index_off = self.offset;
+        self.file.write_all(&index)?;
+        self.offset += index.len() as u64;
+
+        let bloom = self.bloom.build().encode();
+        let bloom_off = self.offset;
+        self.file.write_all(&bloom)?;
+        self.offset += bloom.len() as u64;
+
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        put_u64(&mut footer, index_off);
+        put_u64(&mut footer, index.len() as u64);
+        put_u64(&mut footer, bloom_off);
+        put_u64(&mut footer, bloom.len() as u64);
+        let fcrc = crc32(&footer);
+        put_u32(&mut footer, fcrc);
+        put_u64(&mut footer, MAGIC);
+        self.file.write_all(&footer)?;
+        self.offset += footer.len() as u64;
+
+        self.file.flush()?;
+        self.file.get_ref().sync_data()?;
+
+        Ok(TableProperties {
+            cell_count: self.cell_count,
+            min_key: self.min_key.unwrap(),
+            max_key: self.max_key.unwrap(),
+            max_ts: self.max_ts,
+            file_size: self.offset,
+        })
+    }
+
+    /// Path being written.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cells added so far.
+    pub fn cell_count(&self) -> u64 {
+        self.cell_count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct IndexEntry {
+    first: InternalKey,
+    offset: u64,
+    len: u32,
+}
+
+/// Random-access reader over a finished table. Cheap to clone via `Arc`.
+pub struct Table {
+    file: File,
+    path: PathBuf,
+    /// Caller-supplied id (the engine's file number, used for manifests).
+    id: u64,
+    /// Globally unique block-cache namespace. File numbers restart per
+    /// engine directory, and a block cache may be shared across many
+    /// engines (HBase shares one per region server), so cache keys must
+    /// not be derived from the file number.
+    cache_ns: u64,
+    index: Vec<IndexEntry>,
+    bloom: Bloom,
+    props: TableProperties,
+    cache: Option<Arc<BlockCache>>,
+}
+
+/// Source of globally unique cache namespaces.
+static NEXT_CACHE_NS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("path", &self.path)
+            .field("id", &self.id)
+            .field("blocks", &self.index.len())
+            .field("cells", &self.props.cell_count)
+            .finish()
+    }
+}
+
+impl Table {
+    /// Open a table file, validating footer and index checksums.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        id: u64,
+        cache: Option<Arc<BlockCache>>,
+    ) -> Result<Self> {
+        let path = path.into();
+        let file = File::open(&path)?;
+        let file_size = file.metadata()?.len();
+        let corrupt =
+            |m: String| LsmError::Corruption(format!("{}: {m}", path.display()));
+        if (file_size as usize) < FOOTER_LEN {
+            return Err(corrupt("file shorter than footer".into()));
+        }
+        let mut footer = vec![0u8; FOOTER_LEN];
+        file.read_exact_at(&mut footer, file_size - FOOTER_LEN as u64)?;
+        let magic = get_u64(&footer, FOOTER_LEN - 8).unwrap();
+        if magic != MAGIC {
+            return Err(corrupt(format!("bad magic {magic:#x}")));
+        }
+        let fcrc = get_u32(&footer, 32).unwrap();
+        if crc32(&footer[..32]) != fcrc {
+            return Err(corrupt("footer checksum mismatch".into()));
+        }
+        let index_off = get_u64(&footer, 0).unwrap();
+        let index_len = get_u64(&footer, 8).unwrap();
+        let bloom_off = get_u64(&footer, 16).unwrap();
+        let bloom_len = get_u64(&footer, 24).unwrap();
+        if index_off + index_len > file_size || bloom_off + bloom_len > file_size {
+            return Err(corrupt("index/bloom extent out of bounds".into()));
+        }
+
+        let mut index_buf = vec![0u8; index_len as usize];
+        file.read_exact_at(&mut index_buf, index_off)?;
+        if index_buf.len() < 4 {
+            return Err(corrupt("index block too small".into()));
+        }
+        let body_len = index_buf.len() - 4;
+        let icrc = get_u32(&index_buf, body_len).unwrap();
+        if crc32(&index_buf[..body_len]) != icrc {
+            return Err(corrupt("index checksum mismatch".into()));
+        }
+        let body = &index_buf[..body_len];
+        let mut off = 0usize;
+        let cell_count = get_u64(body, off).ok_or_else(|| corrupt("short props".into()))?;
+        off += 8;
+        let (min_key, n) =
+            get_len_prefixed(&body[off..]).ok_or_else(|| corrupt("short min key".into()))?;
+        let min_key = Bytes::copy_from_slice(min_key);
+        off += n;
+        let (max_key, n) =
+            get_len_prefixed(&body[off..]).ok_or_else(|| corrupt("short max key".into()))?;
+        let max_key = Bytes::copy_from_slice(max_key);
+        off += n;
+        let max_ts = get_u64(body, off).ok_or_else(|| corrupt("short max ts".into()))?;
+        off += 8;
+        let (nblocks, n) =
+            get_varint(&body[off..]).ok_or_else(|| corrupt("short block count".into()))?;
+        off += n;
+        let mut index = Vec::with_capacity(nblocks as usize);
+        for _ in 0..nblocks {
+            let kind = CellKind::from_u8(body[off])
+                .ok_or_else(|| corrupt("bad index kind".into()))?;
+            off += 1;
+            let (ts, n) =
+                get_varint(&body[off..]).ok_or_else(|| corrupt("short index ts".into()))?;
+            off += n;
+            let (ukey, n) = get_len_prefixed(&body[off..])
+                .ok_or_else(|| corrupt("short index key".into()))?;
+            let ukey = Bytes::copy_from_slice(ukey);
+            off += n;
+            let boff = get_u64(body, off).ok_or_else(|| corrupt("short index off".into()))?;
+            off += 8;
+            let blen = get_u32(body, off).ok_or_else(|| corrupt("short index len".into()))?;
+            off += 4;
+            index.push(IndexEntry {
+                first: InternalKey { user_key: ukey, ts, kind },
+                offset: boff,
+                len: blen,
+            });
+        }
+
+        let mut bloom_buf = vec![0u8; bloom_len as usize];
+        file.read_exact_at(&mut bloom_buf, bloom_off)?;
+        let bloom =
+            Bloom::decode(&bloom_buf).ok_or_else(|| corrupt("bad bloom block".into()))?;
+
+        Ok(Self {
+            file,
+            path,
+            id,
+            cache_ns: NEXT_CACHE_NS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            index,
+            bloom,
+            props: TableProperties { cell_count, min_key, max_key, max_ts, file_size },
+            cache,
+        })
+    }
+
+    /// Table properties recorded at build time.
+    pub fn properties(&self) -> &TableProperties {
+        &self.props
+    }
+
+    /// Path of the underlying file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Unique id (block-cache namespace).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// True if the bloom filter rules out `user_key`.
+    pub fn definitely_absent(&self, user_key: &[u8]) -> bool {
+        !self.bloom.may_contain(user_key)
+    }
+
+    /// True if `user_key` is outside this table's `[min, max]` key range.
+    pub fn outside_key_range(&self, user_key: &[u8]) -> bool {
+        user_key < self.props.min_key.as_ref() || user_key > self.props.max_key.as_ref()
+    }
+
+    fn read_block(&self, idx: usize) -> Result<Arc<Vec<Cell>>> {
+        let entry = &self.index[idx];
+        if let Some(cache) = &self.cache {
+            if let Some(cells) = cache.get(self.cache_ns, entry.offset) {
+                return Ok(cells);
+            }
+        }
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file.read_exact_at(&mut buf, entry.offset)?;
+        let corrupt =
+            |m: &str| LsmError::Corruption(format!("{}: block: {m}", self.path.display()));
+        if buf.len() < 4 {
+            return Err(corrupt("short block"));
+        }
+        let body_len = buf.len() - 4;
+        let crc = get_u32(&buf, body_len).unwrap();
+        if crc32(&buf[..body_len]) != crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut cells = Vec::new();
+        let mut off = 0usize;
+        let body = &buf[..body_len];
+        while off < body.len() {
+            let kind =
+                CellKind::from_u8(body[off]).ok_or_else(|| corrupt("bad cell kind"))?;
+            off += 1;
+            let (ts, n) = get_varint(&body[off..]).ok_or_else(|| corrupt("short ts"))?;
+            off += n;
+            let (ukey, n) =
+                get_len_prefixed(&body[off..]).ok_or_else(|| corrupt("short key"))?;
+            let ukey = Bytes::copy_from_slice(ukey);
+            off += n;
+            let (val, n) =
+                get_len_prefixed(&body[off..]).ok_or_else(|| corrupt("short value"))?;
+            let val = Bytes::copy_from_slice(val);
+            off += n;
+            cells.push(Cell {
+                key: InternalKey { user_key: ukey, ts, kind },
+                value: val,
+            });
+        }
+        let cells = Arc::new(cells);
+        if let Some(cache) = &self.cache {
+            cache.insert(self.cache_ns, entry.offset, Arc::clone(&cells));
+        }
+        Ok(cells)
+    }
+
+    /// Index of the block that could contain `target`, i.e. the last block
+    /// whose first key is `<= target` (or block 0).
+    fn block_for(&self, target: &InternalKey) -> usize {
+        // partition_point: number of blocks with first <= target.
+        let pp = self.index.partition_point(|e| e.first <= *target);
+        pp.saturating_sub(1)
+    }
+
+    /// Latest cell for `user_key` visible at `ts`, tombstones included.
+    pub fn get_versioned(&self, user_key: &[u8], ts: Timestamp) -> Result<Option<Cell>> {
+        if self.outside_key_range(user_key) || self.definitely_absent(user_key) {
+            return Ok(None);
+        }
+        let seek = InternalKey::seek_to(Bytes::copy_from_slice(user_key), ts);
+        let mut idx = self.block_for(&seek);
+        // The first cell >= seek may be at the start of the following block.
+        loop {
+            let cells = self.read_block(idx)?;
+            if let Some(pos) = cells.iter().position(|c| c.key >= seek) {
+                let c = &cells[pos];
+                if c.key.user_key.as_ref() == user_key {
+                    return Ok(Some(c.clone()));
+                }
+                return Ok(None);
+            }
+            idx += 1;
+            if idx >= self.index.len() {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Iterator over all cells from the first internal key `>= seek`
+    /// (or from the beginning when `seek` is `None`).
+    pub fn iter_from(&self, seek: Option<&InternalKey>) -> TableIter<'_> {
+        let (block, pos) = match seek {
+            None => (0, 0),
+            Some(k) => (self.block_for(k), 0),
+        };
+        let mut it = TableIter {
+            table: self,
+            block,
+            cells: None,
+            pos,
+            error: None,
+        };
+        if let Some(k) = seek {
+            it.skip_to(k);
+        }
+        it
+    }
+
+    /// Number of data blocks.
+    pub fn block_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// Forward iterator over a table's cells in internal-key order.
+pub struct TableIter<'a> {
+    table: &'a Table,
+    block: usize,
+    cells: Option<Arc<Vec<Cell>>>,
+    pos: usize,
+    error: Option<LsmError>,
+}
+
+impl<'a> TableIter<'a> {
+    fn load_block(&mut self) -> bool {
+        while self.cells.is_none() {
+            if self.block >= self.table.index.len() {
+                return false;
+            }
+            match self.table.read_block(self.block) {
+                Ok(c) => {
+                    self.cells = Some(c);
+                    self.pos = 0;
+                }
+                Err(e) => {
+                    self.error = Some(e);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn skip_to(&mut self, seek: &InternalKey) {
+        loop {
+            if !self.load_block() {
+                return;
+            }
+            let cells = self.cells.as_ref().unwrap();
+            if let Some(pos) = cells.iter().position(|c| c.key >= *seek) {
+                self.pos = pos;
+                return;
+            }
+            self.cells = None;
+            self.block += 1;
+        }
+    }
+
+    /// An I/O or corruption error encountered during iteration, if any.
+    pub fn take_error(&mut self) -> Option<LsmError> {
+        self.error.take()
+    }
+}
+
+impl<'a> Iterator for TableIter<'a> {
+    type Item = Cell;
+
+    fn next(&mut self) -> Option<Cell> {
+        loop {
+            if !self.load_block() {
+                return None;
+            }
+            let cells = self.cells.as_ref().unwrap();
+            if self.pos < cells.len() {
+                let c = cells[self.pos].clone();
+                self.pos += 1;
+                return Some(c);
+            }
+            self.cells = None;
+            self.block += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempdir_lite::TempDir;
+
+    fn build_table(dir: &TempDir, cells: &[Cell], opts: TableOptions) -> Table {
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, opts).unwrap();
+        for c in cells {
+            b.add(c).unwrap();
+        }
+        b.finish().unwrap();
+        Table::open(&path, 1, None).unwrap()
+    }
+
+    fn many_cells(n: usize) -> Vec<Cell> {
+        (0..n).map(|i| Cell::put(format!("key{i:06}"), 100, format!("value-{i}"))).collect()
+    }
+
+    #[test]
+    fn build_and_get_roundtrip() {
+        let dir = TempDir::new("sst").unwrap();
+        let t = build_table(&dir, &many_cells(1000), TableOptions::default());
+        assert_eq!(t.properties().cell_count, 1000);
+        assert!(t.block_count() > 1, "should span multiple blocks");
+        for i in (0..1000).step_by(37) {
+            let c = t.get_versioned(format!("key{i:06}").as_bytes(), u64::MAX).unwrap().unwrap();
+            assert_eq!(c.value, Bytes::from(format!("value-{i}")));
+        }
+        assert!(t.get_versioned(b"missing", u64::MAX).unwrap().is_none());
+    }
+
+    #[test]
+    fn versioned_get_respects_snapshot() {
+        let dir = TempDir::new("sst").unwrap();
+        let cells = vec![
+            Cell::put("k", 30, "v30"),
+            Cell::put("k", 20, "v20"),
+            Cell::put("k", 10, "v10"),
+        ];
+        let t = build_table(&dir, &cells, TableOptions::default());
+        assert_eq!(t.get_versioned(b"k", 35).unwrap().unwrap().value, Bytes::from("v30"));
+        assert_eq!(t.get_versioned(b"k", 29).unwrap().unwrap().value, Bytes::from("v20"));
+        assert_eq!(t.get_versioned(b"k", 10).unwrap().unwrap().value, Bytes::from("v10"));
+        assert!(t.get_versioned(b"k", 9).unwrap().is_none());
+    }
+
+    #[test]
+    fn tombstones_are_returned() {
+        let dir = TempDir::new("sst").unwrap();
+        let cells = vec![Cell::delete("k", 20), Cell::put("k", 10, "v")];
+        let t = build_table(&dir, &cells, TableOptions::default());
+        let c = t.get_versioned(b"k", 25).unwrap().unwrap();
+        assert!(c.is_tombstone());
+        assert_eq!(c.key.ts, 20);
+    }
+
+    #[test]
+    fn get_crossing_block_boundary() {
+        // Tiny blocks force nearly every key into its own block; the seek
+        // target often lands at a block whose cells are all smaller.
+        let dir = TempDir::new("sst").unwrap();
+        let t = build_table(
+            &dir,
+            &many_cells(200),
+            TableOptions { block_size: 16, bloom_bits_per_key: 10 },
+        );
+        assert!(t.block_count() >= 100);
+        for i in 0..200 {
+            let c = t.get_versioned(format!("key{i:06}").as_bytes(), u64::MAX).unwrap();
+            assert!(c.is_some(), "key{i:06} must be found across block boundaries");
+        }
+    }
+
+    #[test]
+    fn iter_returns_everything_in_order() {
+        let dir = TempDir::new("sst").unwrap();
+        let cells = many_cells(500);
+        let t = build_table(&dir, &cells, TableOptions { block_size: 256, bloom_bits_per_key: 10 });
+        let got: Vec<Cell> = t.iter_from(None).collect();
+        assert_eq!(got, cells);
+    }
+
+    #[test]
+    fn iter_from_seek_position() {
+        let dir = TempDir::new("sst").unwrap();
+        let cells = many_cells(100);
+        let t = build_table(&dir, &cells, TableOptions { block_size: 64, bloom_bits_per_key: 10 });
+        let seek = InternalKey::seek_to(Bytes::from("key000050"), u64::MAX);
+        let got: Vec<Cell> = t.iter_from(Some(&seek)).collect();
+        assert_eq!(got.len(), 50);
+        assert_eq!(got[0].key.user_key, Bytes::from("key000050"));
+    }
+
+    #[test]
+    fn out_of_order_add_is_rejected() {
+        let dir = TempDir::new("sst").unwrap();
+        let mut b = TableBuilder::create(dir.path().join("t.sst"), TableOptions::default()).unwrap();
+        b.add(&Cell::put("b", 5, "x")).unwrap();
+        assert!(b.add(&Cell::put("a", 5, "y")).is_err());
+        // Same key, newer timestamp sorts *earlier* — also rejected:
+        assert!(b.add(&Cell::put("b", 9, "z")).is_err());
+        // Same key, older timestamp is fine:
+        b.add(&Cell::put("b", 3, "w")).unwrap();
+    }
+
+    #[test]
+    fn empty_table_is_rejected() {
+        let dir = TempDir::new("sst").unwrap();
+        let b = TableBuilder::create(dir.path().join("t.sst"), TableOptions::default()).unwrap();
+        assert!(b.finish().is_err());
+    }
+
+    #[test]
+    fn properties_reflect_contents() {
+        let dir = TempDir::new("sst").unwrap();
+        let cells =
+            vec![Cell::put("aaa", 7, "1"), Cell::put("mmm", 99, "2"), Cell::put("zzz", 12, "3")];
+        let t = build_table(&dir, &cells, TableOptions::default());
+        let p = t.properties();
+        assert_eq!(p.min_key, Bytes::from("aaa"));
+        assert_eq!(p.max_key, Bytes::from("zzz"));
+        assert_eq!(p.max_ts, 99);
+        assert_eq!(p.cell_count, 3);
+        assert!(p.file_size > 0);
+        assert!(t.outside_key_range(b"zzzz"));
+        assert!(t.outside_key_range(b"a"));
+        assert!(!t.outside_key_range(b"nnn"));
+    }
+
+    #[test]
+    fn corrupt_footer_magic_rejected() {
+        let dir = TempDir::new("sst").unwrap();
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, TableOptions::default()).unwrap();
+        b.add(&Cell::put("k", 1, "v")).unwrap();
+        b.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(Table::open(&path, 1, None), Err(LsmError::Corruption(_))));
+    }
+
+    #[test]
+    fn corrupt_data_block_detected_on_read() {
+        let dir = TempDir::new("sst").unwrap();
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, TableOptions::default()).unwrap();
+        for c in many_cells(50) {
+            b.add(&c).unwrap();
+        }
+        b.finish().unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF; // inside first data block
+        std::fs::write(&path, &bytes).unwrap();
+        let t = Table::open(&path, 1, None).unwrap();
+        let err = t.get_versioned(b"key000000", u64::MAX).unwrap_err();
+        assert!(matches!(err, LsmError::Corruption(_)));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = TempDir::new("sst").unwrap();
+        let path = dir.path().join("t.sst");
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(matches!(Table::open(&path, 1, None), Err(LsmError::Corruption(_))));
+    }
+
+    #[test]
+    fn block_cache_serves_repeat_reads() {
+        let dir = TempDir::new("sst").unwrap();
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, TableOptions::default()).unwrap();
+        for c in many_cells(100) {
+            b.add(&c).unwrap();
+        }
+        b.finish().unwrap();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let t = Table::open(&path, 7, Some(Arc::clone(&cache))).unwrap();
+        t.get_versioned(b"key000010", u64::MAX).unwrap().unwrap();
+        let misses_after_first = cache.misses();
+        t.get_versioned(b"key000010", u64::MAX).unwrap().unwrap();
+        assert_eq!(cache.misses(), misses_after_first, "second read must hit cache");
+        assert!(cache.hits() >= 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Low-level encoding helpers: CRC-32 checksums and varints.
+//!
+//! Implemented locally because the workspace deliberately limits external
+//! dependencies (see DESIGN.md §5).
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental CRC-32: feed `state` from a previous call (start with
+/// `0xFFFF_FFFF`, finish by XOR-ing with `0xFFFF_FFFF`).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    let table = crc_table();
+    for &b in data {
+        let idx = ((state ^ b as u32) & 0xFF) as usize;
+        state = (state >> 8) ^ table[idx];
+    }
+    state
+}
+
+fn crc_table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// Append a LEB128 varint encoding of `v` to `out`.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decode a LEB128 varint from the front of `buf`, returning the value and
+/// the number of bytes consumed, or `None` if the buffer is truncated or the
+/// encoding overflows 64 bits.
+pub fn get_varint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return None;
+        }
+        let part = (byte & 0x7F) as u64;
+        // Reject encodings whose high bits would be shifted out.
+        if shift == 63 && part > 1 {
+            return None;
+        }
+        v |= part << shift;
+        if byte & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Append a length-prefixed byte slice (varint length then bytes).
+pub fn put_len_prefixed(out: &mut Vec<u8>, data: &[u8]) {
+    put_varint(out, data.len() as u64);
+    out.extend_from_slice(data);
+}
+
+/// Decode a length-prefixed slice from the front of `buf`, returning the
+/// slice and bytes consumed.
+pub fn get_len_prefixed(buf: &[u8]) -> Option<(&[u8], usize)> {
+    let (len, n) = get_varint(buf)?;
+    let len = len as usize;
+    if buf.len() < n + len {
+        return None;
+    }
+    Some((&buf[n..n + len], n + len))
+}
+
+/// Fixed-width little-endian u32 append.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Fixed-width little-endian u64 append.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Read a little-endian u32 at `off`.
+pub fn get_u32(buf: &[u8], off: usize) -> Option<u32> {
+    buf.get(off..off + 4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+}
+
+/// Read a little-endian u64 at `off`.
+pub fn get_u64(buf: &[u8], off: usize) -> Option<u64> {
+    buf.get(off..off + 8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector: CRC-32("123456789") = 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data = b"hello, log-structured world";
+        let oneshot = crc32(data);
+        let mut st = 0xFFFF_FFFF;
+        st = crc32_update(st, &data[..7]);
+        st = crc32_update(st, &data[7..]);
+        assert_eq!(st ^ 0xFFFF_FFFF, oneshot);
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let (got, n) = get_varint(&buf).unwrap();
+            assert_eq!(got, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_is_none() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, 1 << 40);
+        buf.pop();
+        assert!(get_varint(&buf).is_none());
+        assert!(get_varint(&[]).is_none());
+    }
+
+    #[test]
+    fn varint_overflow_is_none() {
+        // 11 continuation bytes would exceed 64 bits.
+        let buf = [0xFFu8; 11];
+        assert!(get_varint(&buf).is_none());
+    }
+
+    #[test]
+    fn len_prefixed_roundtrip() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"abc");
+        put_len_prefixed(&mut buf, b"");
+        let (a, n) = get_len_prefixed(&buf).unwrap();
+        assert_eq!(a, b"abc");
+        let (b, m) = get_len_prefixed(&buf[n..]).unwrap();
+        assert_eq!(b, b"");
+        assert_eq!(n + m, buf.len());
+    }
+
+    #[test]
+    fn len_prefixed_truncated_is_none() {
+        let mut buf = Vec::new();
+        put_len_prefixed(&mut buf, b"abcdef");
+        assert!(get_len_prefixed(&buf[..3]).is_none());
+    }
+
+    #[test]
+    fn fixed_width_roundtrip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        assert_eq!(get_u32(&buf, 0), Some(0xDEAD_BEEF));
+        assert_eq!(get_u64(&buf, 4), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(get_u32(&buf, 9), None);
+    }
+}

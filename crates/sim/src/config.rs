@@ -1,0 +1,182 @@
+//! Calibrated cost model for the cluster simulator.
+//!
+//! The paper's absolute numbers come from 2013-era Xeon boxes we don't
+//! have; what the figures actually demonstrate is *relative* behaviour:
+//! latency ratios between schemes at low load, the shape of the
+//! latency-vs-throughput curve near saturation, who saturates first, and
+//! how staleness explodes as the AUQ competes for resources. The constants
+//! below are calibrated so the simulated 8-server cluster reproduces those
+//! relationships (see EXPERIMENTS.md for the paper-vs-measured table):
+//!
+//! * base put ≈ 2 ms at low load (client buffer off, WAL append);
+//! * `sync-insert` update ≈ 2× a base put (paper §8.2, Figure 7);
+//! * `sync-full` update ≈ 5× (its `RB` is disk-bounded, §8.2);
+//! * `async` update ≈ a base put, but its deferred work competes for
+//!   server capacity and its latency overtakes `sync-insert` at high load;
+//! * `async` saturates ≈ 30 % above `sync-full` (4200 vs 3200 TPS,
+//!   §8.2 "Index consistency"), credited to AUQ batching;
+//! * exact-match reads: `sync-full` fast (small warmed index table),
+//!   `sync-insert` much slower (K base-table double-checks, Figure 8).
+
+/// All times in simulated microseconds.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of region servers.
+    pub servers: usize,
+    /// RNG seed (server choice per step, arrival jitter).
+    pub seed: u64,
+
+    // --- server-occupancy (service) costs ---------------------------------
+    /// Base-table put: WAL append + memtable insert.
+    pub svc_base_put: u64,
+    /// Index-table put or delete (small key-only record).
+    pub svc_index_put: u64,
+    /// Base-table read handler time (excludes disk wait, which is
+    /// `lat_base_read_extra` and does not occupy the handler).
+    pub svc_base_read: u64,
+    /// Index-table exact-match read handler time.
+    pub svc_index_read: u64,
+    /// Additional index-scan handler time per returned row.
+    pub svc_scan_per_row: u64,
+
+    // --- latency-only components (no server occupancy) --------------------
+    /// Network round trip per remote operation.
+    pub lat_rpc: u64,
+    /// Extra latency of an index put (remote region, WAL sync window).
+    pub lat_index_put_extra: u64,
+    /// Extra latency of a disk-bounded base read (the paper's slow `RB`;
+    /// §8.1 sizes the data so reads are disk-bounded).
+    pub lat_base_read_extra: u64,
+    /// Extra latency of an index read (warmed block cache, §8.1).
+    pub lat_index_read_extra: u64,
+    /// Extra scan latency per returned row.
+    pub lat_scan_per_row: u64,
+
+    // --- asynchronous processing ------------------------------------------
+    /// Service-cost multiplier for AUQ background work (< 1: the APS batches
+    /// operations, the effect the paper credits for async's ~30 % higher
+    /// saturation throughput).
+    pub background_batch_factor: f64,
+    /// Concurrent background tasks per region server's APS. The real APS
+    /// overlaps many in-flight index updates (their latency is mostly disk
+    /// and network wait, not handler time); a single serial worker would
+    /// cap background throughput far below what §8.2 observes.
+    pub aps_workers: usize,
+    /// Cache-miss probability of the per-row base-table double checks in
+    /// *range* reads (Algorithm 2 over a contiguous, repeatedly queried
+    /// range is largely cache-friendly; exact-match checks against random
+    /// rows pay the full disk cost).
+    pub range_check_miss_rate: f64,
+}
+
+impl SimConfig {
+    /// The paper's in-house cluster (§8.1): 8 region servers, 40 M rows,
+    /// disk-bounded reads, warmed cache for read experiments.
+    pub fn in_house() -> Self {
+        Self {
+            servers: 8,
+            seed: 0xD1FF,
+            svc_base_put: 1740,
+            svc_index_put: 240,
+            svc_base_read: 200,
+            svc_index_read: 300,
+            svc_scan_per_row: 8,
+            lat_rpc: 260,
+            lat_index_put_extra: 1500,
+            lat_base_read_extra: 4400,
+            lat_index_read_extra: 500,
+            lat_scan_per_row: 12,
+            background_batch_factor: 0.35,
+            aps_workers: 32,
+            range_check_miss_rate: 0.10,
+        }
+    }
+
+    /// The RC2 virtual cluster (§8.2, Figure 10): 40 data servers, 5× data,
+    /// but each VM is weaker than the physical boxes and virtualization
+    /// adds indirection + I/O contention — the paper observes < 4× TPS and
+    /// latencies "a couple of times larger" at 5× the load.
+    pub fn rc2_cloud() -> Self {
+        let base = Self::in_house();
+        Self {
+            servers: 40,
+            // Weaker virtual CPU + contended virtual disk: every cost grows.
+            svc_base_put: (base.svc_base_put as f64 * 1.65) as u64,
+            svc_index_put: (base.svc_index_put as f64 * 1.65) as u64,
+            svc_base_read: (base.svc_base_read as f64 * 1.65) as u64,
+            svc_index_read: (base.svc_index_read as f64 * 1.65) as u64,
+            svc_scan_per_row: (base.svc_scan_per_row as f64 * 1.65) as u64,
+            lat_rpc: (base.lat_rpc as f64 * 2.2) as u64, // virtual network indirection
+            lat_index_put_extra: (base.lat_index_put_extra as f64 * 1.8) as u64,
+            lat_base_read_extra: (base.lat_base_read_extra as f64 * 2.0) as u64,
+            lat_index_read_extra: (base.lat_index_read_extra as f64 * 1.8) as u64,
+            lat_scan_per_row: (base.lat_scan_per_row as f64 * 1.8) as u64,
+            ..base
+        }
+    }
+
+    /// Aggregate service capacity in server-microseconds per microsecond.
+    pub fn capacity(&self) -> f64 {
+        self.servers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_house_matches_latency_equation_targets() {
+        let c = SimConfig::in_house();
+        // Low-load latency targets (see module docs): null ≈ 2 ms.
+        let null = c.svc_base_put + c.lat_rpc;
+        assert!((1900..2100).contains(&null), "null {null}");
+        // insert ≈ 2× null.
+        let insert = null + c.svc_index_put + c.lat_index_put_extra + c.lat_rpc;
+        assert!(
+            (insert as f64 / null as f64 - 2.0).abs() < 0.2,
+            "insert/null = {}",
+            insert as f64 / null as f64
+        );
+        // full ≈ 5× null.
+        let full = insert
+            + (c.svc_base_read + c.lat_base_read_extra + c.lat_rpc)
+            + (c.svc_index_put + c.lat_rpc);
+        assert!(
+            (4.0..6.0).contains(&(full as f64 / null as f64)),
+            "full/null = {}",
+            full as f64 / null as f64
+        );
+    }
+
+    #[test]
+    fn saturation_ordering_null_async_insert_full() {
+        let c = SimConfig::in_house();
+        let d_null = c.svc_base_put as f64;
+        let d_insert = d_null + c.svc_index_put as f64;
+        let bg = (c.svc_base_read + c.svc_index_put * 2) as f64 * c.background_batch_factor;
+        let d_async = d_null + bg;
+        let d_full = d_null + (c.svc_index_put * 2 + c.svc_base_read) as f64;
+        // Demand ordering determines saturation ordering (sat = capacity/D).
+        assert!(d_null < d_async, "async does more total work than null");
+        assert!(d_async < d_insert || (d_async - d_insert).abs() < 200.0);
+        assert!(d_insert < d_full);
+        // async saturates 20–40 % above sync-full (paper: ~30 %).
+        let ratio = d_full / d_async;
+        assert!((1.15..1.45).contains(&ratio), "async/full saturation ratio {ratio}");
+    }
+
+    #[test]
+    fn rc2_is_bigger_but_weaker() {
+        let c = SimConfig::rc2_cloud();
+        let h = SimConfig::in_house();
+        assert_eq!(c.servers, 40);
+        assert!(c.svc_base_put > h.svc_base_put);
+        assert!(c.lat_rpc > h.lat_rpc);
+        // 5× servers at ~1.65× cost → < 4× aggregate throughput (paper).
+        let speedup = (c.servers as f64 / h.servers as f64)
+            * (h.svc_base_put as f64 / c.svc_base_put as f64);
+        assert!(speedup < 4.0, "scale-out must be sub-linear: {speedup}");
+        assert!(speedup > 2.0);
+    }
+}

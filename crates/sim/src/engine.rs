@@ -1,0 +1,404 @@
+//! The discrete-event simulator: region servers as FIFO resources,
+//! closed-loop or open-loop clients, and a per-server APS draining deferred
+//! index work. Deterministic for a given seed.
+
+use crate::config::SimConfig;
+use crate::ops::{OpTemplate, Step};
+use diff_index_ycsb::Histogram;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Outcome of one simulation run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Client-observed operation latency (µs), measurement window only.
+    pub latency: Histogram,
+    /// Index-after-data time lag (µs) of completed background tasks
+    /// (Figure 11's staleness metric: `T2 − T1`).
+    pub staleness: Histogram,
+    /// Operations completed inside the measurement window.
+    pub completed: u64,
+    /// Achieved throughput, operations/second.
+    pub tps: f64,
+    /// Background tasks still queued or running when the run ended (an
+    /// indicator that the APS could not keep up).
+    pub backlog: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// An op instance is ready to issue its next step.
+    Op(u32),
+    /// Background task `id` is ready to issue its next step.
+    Bg(u32),
+    /// The APS on `server` may admit more tasks from its queue.
+    Aps(u32),
+    /// Open-loop arrival of a fresh operation.
+    Arrival,
+}
+
+struct OpInstance {
+    steps: VecDeque<Step>,
+    started: u64,
+    /// Set for closed-loop clients (they immediately start the next op).
+    closed_loop: bool,
+    live: bool,
+}
+
+struct BgTask {
+    steps: VecDeque<Step>,
+    t1: u64,
+    home: u32,
+}
+
+struct Aps {
+    queue: VecDeque<BgTask>,
+    /// Tasks currently admitted (≤ `cfg.aps_workers`).
+    active: usize,
+}
+
+/// The simulation world.
+pub struct Sim {
+    cfg: SimConfig,
+    rng: StdRng,
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Reverse<(u64, u64, EvKey)>>,
+    server_free: Vec<u64>,
+    ops: Vec<OpInstance>,
+    free_ops: Vec<u32>,
+    bg: Vec<BgTask>,
+    free_bg: Vec<u32>,
+    aps: Vec<Aps>,
+    template: OpTemplate,
+    // open loop
+    arrival_gap_us: Option<f64>,
+    // measurement
+    warmup_us: u64,
+    duration_us: u64,
+    latency: Histogram,
+    staleness: Histogram,
+    completed: u64,
+}
+
+// BinaryHeap needs Ord; wrap Ev into an order-stable key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKey {
+    Op(u32),
+    Bg(u32),
+    Aps(u32),
+    Arrival,
+}
+
+fn to_key(e: Ev) -> EvKey {
+    match e {
+        Ev::Op(i) => EvKey::Op(i),
+        Ev::Bg(i) => EvKey::Bg(i),
+        Ev::Aps(s) => EvKey::Aps(s),
+        Ev::Arrival => EvKey::Arrival,
+    }
+}
+
+impl Sim {
+    /// Closed-loop simulation: `clients` concurrent clients each repeatedly
+    /// issue `template` ops for `duration_us` simulated microseconds (the
+    /// first 25 % is warm-up and not measured).
+    pub fn closed_loop(cfg: SimConfig, template: OpTemplate, clients: usize, duration_us: u64) -> RunResult {
+        let mut sim = Sim::new(cfg, template, duration_us, None);
+        for _ in 0..clients {
+            let id = sim.alloc_op(0, true);
+            sim.schedule(0, Ev::Op(id));
+        }
+        sim.run()
+    }
+
+    /// Open-loop simulation: operations arrive as a Poisson process at
+    /// `rate_tps`, regardless of completion (Figure 11's fixed transaction
+    /// rates).
+    pub fn open_loop(cfg: SimConfig, template: OpTemplate, rate_tps: f64, duration_us: u64) -> RunResult {
+        assert!(rate_tps > 0.0);
+        let gap = 1e6 / rate_tps;
+        let mut sim = Sim::new(cfg, template, duration_us, Some(gap));
+        sim.schedule(0, Ev::Arrival);
+        sim.run()
+    }
+
+    fn new(cfg: SimConfig, template: OpTemplate, duration_us: u64, arrival_gap_us: Option<f64>) -> Self {
+        let servers = cfg.servers;
+        let seed = cfg.seed;
+        Self {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            server_free: vec![0; servers],
+            ops: Vec::new(),
+            free_ops: Vec::new(),
+            bg: Vec::new(),
+            free_bg: Vec::new(),
+            aps: (0..servers)
+                .map(|_| Aps { queue: VecDeque::new(), active: 0 })
+                .collect(),
+            template,
+            arrival_gap_us,
+            warmup_us: duration_us / 4,
+            duration_us,
+            latency: Histogram::new(),
+            staleness: Histogram::new(),
+            completed: 0,
+        }
+    }
+
+    fn schedule(&mut self, at: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, to_key(ev))));
+    }
+
+    fn alloc_op(&mut self, now: u64, closed_loop: bool) -> u32 {
+        let inst = OpInstance {
+            steps: self.template.sync_steps.iter().copied().collect(),
+            started: now,
+            closed_loop,
+            live: true,
+        };
+        if let Some(id) = self.free_ops.pop() {
+            self.ops[id as usize] = inst;
+            id
+        } else {
+            self.ops.push(inst);
+            (self.ops.len() - 1) as u32
+        }
+    }
+
+    fn pick_server(&mut self) -> usize {
+        self.rng.random_range(0..self.cfg.servers)
+    }
+
+    /// Reserve FIFO service on a server starting no earlier than `now`;
+    /// returns the completion time visible to the requester.
+    fn visit_server(&mut self, service: u64, extra: u64) -> u64 {
+        let s = self.pick_server();
+        let start = self.now.max(self.server_free[s]);
+        self.server_free[s] = start + service;
+        start + service + extra
+    }
+
+    fn in_window(&self) -> bool {
+        self.now >= self.warmup_us && self.now < self.duration_us
+    }
+
+    fn run(mut self) -> RunResult {
+        while let Some(Reverse((t, _, key))) = self.heap.pop() {
+            if t >= self.duration_us {
+                break;
+            }
+            self.now = t;
+            match key {
+                EvKey::Arrival => {
+                    let id = self.alloc_op(self.now, false);
+                    self.schedule(self.now, Ev::Op(id));
+                    let gap = self.arrival_gap_us.expect("arrival without open loop");
+                    // Exponential inter-arrival (Poisson process).
+                    let u: f64 = self.rng.random::<f64>().max(1e-12);
+                    let next = self.now + (-u.ln() * gap).max(1.0) as u64;
+                    self.schedule(next, Ev::Arrival);
+                }
+                EvKey::Op(id) => self.op_event(id),
+                EvKey::Bg(id) => self.bg_event(id),
+                EvKey::Aps(s) => self.aps_event(s as usize),
+            }
+        }
+        let window_us = self.duration_us - self.warmup_us;
+        let backlog: u64 = self
+            .aps
+            .iter()
+            .map(|a| a.queue.len() as u64 + a.active as u64)
+            .sum();
+        RunResult {
+            tps: self.completed as f64 / (window_us as f64 / 1e6),
+            latency: self.latency,
+            staleness: self.staleness,
+            completed: self.completed,
+            backlog,
+        }
+    }
+
+    fn op_event(&mut self, id: u32) {
+        let Some(step) = self.ops[id as usize].steps.pop_front() else {
+            // Op finished its critical path.
+            self.finish_op(id);
+            return;
+        };
+        let service = step.service(&self.cfg);
+        let extra = step.extra_latency(&self.cfg);
+        let done = self.visit_server(service, extra);
+        self.schedule(done, Ev::Op(id));
+    }
+
+    fn finish_op(&mut self, id: u32) {
+        let started = self.ops[id as usize].started;
+        let closed_loop = self.ops[id as usize].closed_loop;
+        if !self.ops[id as usize].live {
+            return;
+        }
+        if self.in_window() && started >= self.warmup_us {
+            self.latency.record(self.now - started);
+            self.completed += 1;
+        }
+        // Hand deferred work to the APS of a random server (the paper's AUQ
+        // lives on the region server that took the base put).
+        if !self.template.background_steps.is_empty() {
+            let s = self.pick_server();
+            let task = BgTask {
+                steps: self.template.background_steps.iter().copied().collect(),
+                t1: self.now,
+                home: s as u32,
+            };
+            self.aps[s].queue.push_back(task);
+            self.schedule(self.now, Ev::Aps(s as u32));
+        }
+        if closed_loop {
+            // Immediately start the next op (closed loop, zero think time).
+            self.ops[id as usize].steps = self.template.sync_steps.iter().copied().collect();
+            self.ops[id as usize].started = self.now;
+            self.schedule(self.now, Ev::Op(id));
+        } else {
+            self.ops[id as usize].live = false;
+            self.free_ops.push(id);
+        }
+    }
+
+    /// Admit queued tasks up to the per-server worker limit.
+    fn aps_event(&mut self, s: usize) {
+        while self.aps[s].active < self.cfg.aps_workers {
+            let Some(task) = self.aps[s].queue.pop_front() else { return };
+            self.aps[s].active += 1;
+            let id = if let Some(id) = self.free_bg.pop() {
+                self.bg[id as usize] = task;
+                id
+            } else {
+                self.bg.push(task);
+                (self.bg.len() - 1) as u32
+            };
+            self.schedule(self.now, Ev::Bg(id));
+        }
+    }
+
+    /// Advance one background task by one step.
+    fn bg_event(&mut self, id: u32) {
+        match self.bg[id as usize].steps.pop_front() {
+            Some(step) => {
+                let service = step.service(&self.cfg);
+                let extra = step.extra_latency(&self.cfg);
+                let done = self.visit_server(service, extra);
+                self.schedule(done, Ev::Bg(id));
+            }
+            None => {
+                // Task complete: record staleness, free a worker slot.
+                let t1 = self.bg[id as usize].t1;
+                let home = self.bg[id as usize].home as usize;
+                if self.in_window() {
+                    self.staleness.record(self.now - t1);
+                }
+                self.aps[home].active -= 1;
+                self.free_bg.push(id);
+                if !self.aps[home].queue.is_empty() {
+                    self.schedule(self.now, Ev::Aps(home as u32));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::update_op;
+    use diff_index_core::IndexScheme;
+
+    const SEC: u64 = 1_000_000;
+
+    #[test]
+    fn single_client_latency_matches_analytic_sum() {
+        let cfg = SimConfig::in_house();
+        let template = update_op(Some(IndexScheme::SyncFull));
+        let analytic: u64 = template
+            .sync_steps
+            .iter()
+            .map(|s| s.service(&cfg) + s.extra_latency(&cfg))
+            .sum();
+        let r = Sim::closed_loop(cfg, template, 1, 20 * SEC);
+        // One client never queues: mean latency == analytic sum (bucket error).
+        let mean = r.latency.mean();
+        assert!(
+            (mean - analytic as f64).abs() / (analytic as f64) < 0.02,
+            "mean {mean} vs analytic {analytic}"
+        );
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn throughput_saturates_near_capacity() {
+        let cfg = SimConfig::in_house();
+        let d_null = cfg.svc_base_put as f64 / 1e6; // demand per op, seconds
+        let cap_tps = cfg.capacity() / d_null;
+        let r = Sim::closed_loop(cfg, update_op(None), 320, 20 * SEC);
+        assert!(r.tps < cap_tps * 1.05, "tps {} must not exceed capacity {cap_tps}", r.tps);
+        assert!(r.tps > cap_tps * 0.80, "tps {} should approach capacity {cap_tps}", r.tps);
+    }
+
+    #[test]
+    fn latency_rises_with_load() {
+        let cfg = SimConfig::in_house();
+        let lo = Sim::closed_loop(cfg.clone(), update_op(Some(IndexScheme::SyncFull)), 1, 20 * SEC);
+        let hi = Sim::closed_loop(cfg, update_op(Some(IndexScheme::SyncFull)), 320, 20 * SEC);
+        assert!(
+            hi.latency.mean() > lo.latency.mean() * 2.0,
+            "queueing must inflate latency: lo={} hi={}",
+            lo.latency.mean(),
+            hi.latency.mean()
+        );
+    }
+
+    #[test]
+    fn async_staleness_small_at_low_load_large_near_saturation() {
+        let cfg = SimConfig::in_house();
+        let low = Sim::open_loop(cfg.clone(), update_op(Some(IndexScheme::AsyncSimple)), 600.0, 30 * SEC);
+        assert!(low.staleness.count() > 0);
+        let low_p50 = low.staleness.percentile(50.0);
+        assert!(low_p50 < 100_000, "at 600 TPS most lags are < 100 ms: {low_p50}µs");
+
+        let high = Sim::open_loop(cfg, update_op(Some(IndexScheme::AsyncSimple)), 4000.0, 30 * SEC);
+        let high_mean = high.staleness.mean().max(high.backlog as f64);
+        assert!(
+            high.staleness.mean() > low.staleness.mean() * 10.0 || high.backlog > 1000,
+            "near saturation staleness must explode: low={} high={} backlog={}",
+            low.staleness.mean(),
+            high_mean,
+            high.backlog
+        );
+    }
+
+    #[test]
+    fn open_loop_tracks_offered_rate_below_saturation() {
+        let cfg = SimConfig::in_house();
+        let r = Sim::open_loop(cfg, update_op(None), 1000.0, 30 * SEC);
+        assert!(
+            (r.tps - 1000.0).abs() / 1000.0 < 0.10,
+            "below saturation achieved ≈ offered: {}",
+            r.tps
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SimConfig::in_house();
+        let a = Sim::closed_loop(cfg.clone(), update_op(Some(IndexScheme::AsyncSimple)), 8, 5 * SEC);
+        let b = Sim::closed_loop(cfg, update_op(Some(IndexScheme::AsyncSimple)), 8, 5 * SEC);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.latency.percentile(50.0), b.latency.percentile(50.0));
+    }
+}

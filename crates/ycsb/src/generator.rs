@@ -1,0 +1,222 @@
+//! Key-choice distributions, following YCSB (Cooper et al., SoCC'10), which
+//! the paper uses as its workload driver (§8.1).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// FNV-1a 64-bit hash, YCSB's scrambling function.
+pub fn fnv1a64(v: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A distribution over `0..n` item ids.
+pub trait KeyChooser: Send {
+    /// Next key id.
+    fn next_key(&mut self) -> u64;
+}
+
+/// Uniform over `0..n`.
+pub struct Uniform {
+    rng: StdRng,
+    n: u64,
+}
+
+impl Uniform {
+    /// Uniform chooser over `0..n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed), n: n.max(1) }
+    }
+}
+
+impl KeyChooser for Uniform {
+    fn next_key(&mut self) -> u64 {
+        self.rng.random_range(0..self.n)
+    }
+}
+
+/// Zipfian over `0..n` using Gray et al.'s rejection-free algorithm (the
+/// same one YCSB implements), skewing toward small ids.
+pub struct Zipfian {
+    rng: StdRng,
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2theta: f64,
+}
+
+impl Zipfian {
+    /// YCSB's default skew (θ = 0.99).
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self::with_theta(n, 0.99, seed)
+    }
+
+    /// Zipfian with explicit skew parameter θ ∈ (0, 1).
+    pub fn with_theta(n: u64, theta: f64, seed: u64) -> Self {
+        let n = n.max(1);
+        let zetan = Self::zeta(n, theta);
+        let zeta2theta = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2theta / zetan);
+        Self { rng: StdRng::seed_from_u64(seed), n, theta, alpha, zetan, eta, zeta2theta }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct sum; fine for the sizes used in tests/benches (≤ ~10M with
+        // caching at construction time).
+        let mut z = 0.0;
+        for i in 1..=n {
+            z += 1.0 / (i as f64).powf(theta);
+        }
+        z
+    }
+}
+
+impl KeyChooser for Zipfian {
+    fn next_key(&mut self) -> u64 {
+        let _ = self.zeta2theta;
+        let u: f64 = self.rng.random();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = ((self.eta * u - self.eta + 1.0).powf(self.alpha) * self.n as f64) as u64;
+        v.min(self.n - 1)
+    }
+}
+
+/// Zipfian scrambled over the key space (hot keys spread out), YCSB's
+/// `scrambled_zipfian` — what the paper's hash-partitioned tables see.
+pub struct ScrambledZipfian {
+    inner: Zipfian,
+}
+
+impl ScrambledZipfian {
+    /// Scrambled zipfian over `0..n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self { inner: Zipfian::new(n, seed) }
+    }
+}
+
+impl KeyChooser for ScrambledZipfian {
+    fn next_key(&mut self) -> u64 {
+        fnv1a64(self.inner.next_key()) % self.inner.n
+    }
+}
+
+/// "Latest" distribution: skewed toward the most recently inserted ids.
+pub struct Latest {
+    inner: Zipfian,
+    n: u64,
+}
+
+impl Latest {
+    /// Latest-skewed chooser over `0..n`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        Self { inner: Zipfian::new(n, seed), n: n.max(1) }
+    }
+
+    /// Grow the key space after an insert.
+    pub fn advance(&mut self, new_n: u64) {
+        self.n = new_n.max(1);
+    }
+}
+
+impl KeyChooser for Latest {
+    fn next_key(&mut self) -> u64 {
+        let off = self.inner.next_key() % self.n;
+        self.n - 1 - off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_covers_range() {
+        let mut u = Uniform::new(100, 7);
+        let mut seen = vec![false; 100];
+        for _ in 0..10_000 {
+            let k = u.next_key();
+            assert!(k < 100);
+            seen[k as usize] = true;
+        }
+        assert!(seen.iter().filter(|&&s| s).count() > 95);
+    }
+
+    #[test]
+    fn zipfian_is_skewed() {
+        let mut z = Zipfian::new(10_000, 42);
+        let mut head = 0;
+        let total = 100_000;
+        for _ in 0..total {
+            if z.next_key() < 100 {
+                head += 1;
+            }
+        }
+        // With θ=0.99 the top 1% of keys receive far more than 1% of
+        // accesses (typically >50%).
+        assert!(
+            head as f64 / total as f64 > 0.3,
+            "zipfian head share too small: {head}/{total}"
+        );
+    }
+
+    #[test]
+    fn zipfian_stays_in_range() {
+        let mut z = Zipfian::new(1000, 3);
+        for _ in 0..10_000 {
+            assert!(z.next_key() < 1000);
+        }
+    }
+
+    #[test]
+    fn scrambled_zipfian_spreads_hot_keys() {
+        let mut s = ScrambledZipfian::new(10_000, 42);
+        let mut low_half = 0;
+        for _ in 0..10_000 {
+            if s.next_key() < 5_000 {
+                low_half += 1;
+            }
+        }
+        // Scrambling should spread mass roughly evenly across halves.
+        assert!((3_500..6_500).contains(&low_half), "low half got {low_half}");
+    }
+
+    #[test]
+    fn latest_prefers_recent() {
+        let mut l = Latest::new(10_000, 42);
+        let mut recent = 0;
+        for _ in 0..10_000 {
+            if l.next_key() >= 9_900 {
+                recent += 1;
+            }
+        }
+        assert!(recent > 3_000, "latest should hit the newest 1% often: {recent}");
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Zipfian::new(1000, 5);
+        let mut b = Zipfian::new(1000, 5);
+        for _ in 0..100 {
+            assert_eq!(a.next_key(), b.next_key());
+        }
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(0), fnv1a64(0));
+        assert_ne!(fnv1a64(1), fnv1a64(2));
+    }
+}

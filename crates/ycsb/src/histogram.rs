@@ -1,0 +1,229 @@
+//! Log-bucketed latency histogram (HdrHistogram-style), used by the
+//! workload driver and the cluster simulator to report the latency
+//! percentiles behind the paper's figures.
+
+/// Histogram over `u64` values (microseconds by convention) with bounded
+/// relative error: each power of two is split into 16 linear sub-buckets
+/// (≈ 6% worst-case error), which is plenty for latency curves.
+
+const SUB_BUCKETS: usize = 16;
+const BUCKETS: usize = 64 * SUB_BUCKETS;
+
+/// A recording histogram.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+    min: u64,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("p99", &self.percentile(99.0))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_of(v: u64) -> usize {
+    if v < SUB_BUCKETS as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize;
+    // Position within the power-of-two range, quantized to SUB_BUCKETS.
+    let shift = msb - 4; // log2(SUB_BUCKETS) = 4
+    let sub = ((v >> shift) & (SUB_BUCKETS as u64 - 1)) as usize;
+    let idx = (msb - 3) * SUB_BUCKETS + sub;
+    idx.min(BUCKETS - 1)
+}
+
+fn bucket_value(idx: usize) -> u64 {
+    if idx < SUB_BUCKETS {
+        return idx as u64;
+    }
+    let msb = idx / SUB_BUCKETS + 3;
+    let sub = (idx % SUB_BUCKETS) as u64;
+    let shift = msb - 4;
+    (1u64 << msb) + (sub << shift)
+}
+
+impl Histogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self { counts: vec![0; BUCKETS], count: 0, sum: 0, max: 0, min: u64::MAX }
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded value (0 if empty).
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Value at percentile `p` (0–100), approximated to bucket resolution.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_value(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of recorded values `<= v` (empirical CDF), used for the
+    /// paper's Figure 11 staleness distributions.
+    pub fn cdf_at(&self, v: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let cut = bucket_of(v);
+        let below: u64 = self.counts[..=cut].iter().sum();
+        below as f64 / self.count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 5, 15] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 15);
+        assert_eq!(h.percentile(100.0), 15);
+    }
+
+    #[test]
+    fn percentiles_are_close() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(50.0);
+        assert!((p50 as f64 - 5000.0).abs() / 5000.0 < 0.10, "p50={p50}");
+        let p99 = h.percentile(99.0);
+        assert!((p99 as f64 - 9900.0).abs() / 9900.0 < 0.10, "p99={p99}");
+        assert!((h.mean() - 5000.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn bucket_roundtrip_error_is_bounded() {
+        for v in [1u64, 100, 1000, 12345, 999_999, 123_456_789] {
+            let b = bucket_value(bucket_of(v));
+            let err = (v as f64 - b as f64).abs() / v as f64;
+            assert!(err < 0.07, "v={v} b={b} err={err}");
+            assert!(b <= v, "bucket value must round down");
+        }
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+        }
+        for v in 100..200 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.max(), 199);
+        assert_eq!(a.min(), 0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [10u64, 100, 1000, 10000] {
+            h.record(v);
+        }
+        assert!(h.cdf_at(5) <= h.cdf_at(50));
+        assert!(h.cdf_at(50) <= h.cdf_at(50_000));
+        assert_eq!(h.cdf_at(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(100.0) > 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The paper's extended YCSB workload (§8.1): an `item` table whose rows
+//! have a unique item id as rowkey and 10 columns — `item_title` and
+//! `item_price` (both indexed in the experiments) plus 8 filler columns of
+//! 100 random bytes, ≈ 1 KB per row.
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of filler columns.
+pub const FILLER_COLUMNS: usize = 8;
+/// Size of each filler value.
+pub const FILLER_BYTES: usize = 100;
+
+/// Deterministic generator for item rows.
+pub struct ItemWorkload {
+    /// Number of distinct `item_title` values; controls how many rows an
+    /// exact-match index query returns (Table 2's `K`).
+    pub title_cardinality: u64,
+    /// Price range `0..max_price`, zero-padded so byte order == numeric
+    /// order (range queries, Figure 9).
+    pub max_price: u64,
+    seed: u64,
+}
+
+impl ItemWorkload {
+    /// Workload with the given title cardinality and price range.
+    pub fn new(title_cardinality: u64, max_price: u64, seed: u64) -> Self {
+        Self { title_cardinality: title_cardinality.max(1), max_price: max_price.max(1), seed }
+    }
+
+    /// Row key for item `id` (zero-padded for locality-free ordering).
+    pub fn row_key(&self, id: u64) -> Bytes {
+        Bytes::from(format!("item{:012}", crate::generator::fnv1a64(id) % 1_000_000_000_000))
+    }
+
+    /// The title value of item `id`.
+    pub fn title_of(&self, id: u64) -> Bytes {
+        Bytes::from(format!("title{:08}", crate::generator::fnv1a64(id ^ self.seed) % self.title_cardinality))
+    }
+
+    /// The price value of item `id` (zero-padded decimal).
+    pub fn price_of(&self, id: u64) -> Bytes {
+        Bytes::from(format!("{:010}", crate::generator::fnv1a64(id.wrapping_mul(31) ^ self.seed) % self.max_price))
+    }
+
+    /// A price *range* `[lo, hi]` covering approximately `selectivity`
+    /// (e.g. `0.001` = 0.1 %) of the price space.
+    pub fn price_range(&self, selectivity: f64, at: f64) -> (Bytes, Bytes) {
+        let span = ((self.max_price as f64) * selectivity).max(1.0) as u64;
+        let lo = ((self.max_price as f64 - span as f64) * at) as u64;
+        let hi = (lo + span).min(self.max_price - 1);
+        (Bytes::from(format!("{lo:010}")), Bytes::from(format!("{hi:010}")))
+    }
+
+    /// Full 10-column row for item `id`: `item_title`, `item_price`, and 8
+    /// filler columns (`field0..field7`).
+    pub fn row(&self, id: u64) -> Vec<(Bytes, Bytes)> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ id);
+        let mut cols = Vec::with_capacity(2 + FILLER_COLUMNS);
+        cols.push((Bytes::from_static(b"item_title"), self.title_of(id)));
+        cols.push((Bytes::from_static(b"item_price"), self.price_of(id)));
+        for f in 0..FILLER_COLUMNS {
+            let mut v = vec![0u8; FILLER_BYTES];
+            rng.fill(&mut v[..]);
+            cols.push((Bytes::from(format!("field{f}")), Bytes::from(v)));
+        }
+        cols
+    }
+
+    /// An updated row for item `id` at version `ver`: new title + price,
+    /// same shape. Used for the update workloads of Figure 7.
+    pub fn updated_row(&self, id: u64, ver: u64) -> Vec<(Bytes, Bytes)> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ id ^ (ver << 32));
+        let title = format!(
+            "title{:08}",
+            crate::generator::fnv1a64(id ^ self.seed ^ ver) % self.title_cardinality
+        );
+        let price = format!(
+            "{:010}",
+            crate::generator::fnv1a64(id.wrapping_mul(31) ^ ver) % self.max_price
+        );
+        let mut v = vec![0u8; FILLER_BYTES];
+        rng.fill(&mut v[..]);
+        vec![
+            (Bytes::from_static(b"item_title"), Bytes::from(title)),
+            (Bytes::from_static(b"item_price"), Bytes::from(price)),
+            (Bytes::from(format!("field{}", ver as usize % FILLER_COLUMNS)), Bytes::from(v)),
+        ]
+    }
+}
+
+/// Operation mix for a driver run.
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    /// Fraction of operations that are updates (rest are index reads).
+    pub update_fraction: f64,
+}
+
+impl OpMix {
+    /// 100 % updates (the paper's update experiments, Figure 7).
+    pub fn update_only() -> Self {
+        Self { update_fraction: 1.0 }
+    }
+
+    /// 100 % index reads (Figure 8).
+    pub fn read_only() -> Self {
+        Self { update_fraction: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_shape_matches_paper() {
+        let w = ItemWorkload::new(1000, 1_000_000, 42);
+        let row = w.row(7);
+        assert_eq!(row.len(), 10, "paper: 10 columns");
+        assert_eq!(row[0].0, Bytes::from_static(b"item_title"));
+        assert_eq!(row[1].0, Bytes::from_static(b"item_price"));
+        let total: usize = row.iter().map(|(c, v)| c.len() + v.len()).sum();
+        assert!(total > 800 && total < 1200, "≈1 KB per row, got {total}");
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let w = ItemWorkload::new(1000, 1_000_000, 42);
+        assert_eq!(w.row(5), w.row(5));
+        assert_ne!(w.row(5), w.row(6));
+        assert_eq!(w.row_key(9), w.row_key(9));
+    }
+
+    #[test]
+    fn title_cardinality_bounds_distinct_titles() {
+        let w = ItemWorkload::new(10, 1000, 1);
+        let titles: std::collections::HashSet<Bytes> = (0..1000).map(|i| w.title_of(i)).collect();
+        assert!(titles.len() <= 10);
+        assert!(titles.len() >= 8, "most of the 10 titles should appear");
+    }
+
+    #[test]
+    fn price_is_zero_padded_and_ordered() {
+        let w = ItemWorkload::new(10, 1_000_000, 1);
+        for i in 0..100 {
+            let p = w.price_of(i);
+            assert_eq!(p.len(), 10);
+        }
+        // Byte order == numeric order thanks to the padding.
+        assert!(Bytes::from("0000000002") < Bytes::from("0000000010"));
+    }
+
+    #[test]
+    fn price_range_selectivity() {
+        let w = ItemWorkload::new(10, 1_000_000, 1);
+        let (lo, hi) = w.price_range(0.001, 0.5);
+        let lo_n: u64 = std::str::from_utf8(&lo).unwrap().parse().unwrap();
+        let hi_n: u64 = std::str::from_utf8(&hi).unwrap().parse().unwrap();
+        assert_eq!(hi_n - lo_n, 1000, "0.1% of 1M");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn updated_row_changes_indexed_columns() {
+        let w = ItemWorkload::new(1_000_000, 1_000_000, 42);
+        let a = w.updated_row(7, 1);
+        let b = w.updated_row(7, 2);
+        assert_ne!(a[0].1, b[0].1, "title changes across versions");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn op_mix_presets() {
+        assert_eq!(OpMix::update_only().update_fraction, 1.0);
+        assert_eq!(OpMix::read_only().update_fraction, 0.0);
+    }
+}

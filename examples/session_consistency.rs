@@ -1,0 +1,77 @@
+//! Session consistency (§3.3 and §5.2): the exact two-user interaction from
+//! the paper, run against the `async-session` scheme.
+//!
+//! | time | User 1                         | User 2                        |
+//! |------|--------------------------------|-------------------------------|
+//! | 1    | view reviews for product A     | view reviews for product B   |
+//! | 2    | post review for product A      |                               |
+//! | 3    | view reviews for product A     | view reviews for product A   |
+//!
+//! User 1 must see their own review at time 3 (read-your-writes), even
+//! though the index is maintained asynchronously; User 2 is only guaranteed
+//! to see it eventually.
+//!
+//! Run with: `cargo run --example session_consistency`
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+
+fn b(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = tempdir_lite::TempDir::new("diffindex-session")?;
+    let cluster = Cluster::new(dir.path(), ClusterOptions { num_servers: 2, ..Default::default() })?;
+    cluster.create_table("Reviews", 4)?;
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(
+        IndexSpec::single("by_product", "Reviews", "ProductID", IndexScheme::AsyncSession),
+        4,
+    )?;
+
+    // Existing reviews, fully indexed.
+    cluster.put("Reviews", b"rev-old-A", &[(b("ProductID"), b("productA"))])?;
+    cluster.put("Reviews", b"rev-old-B", &[(b("ProductID"), b("productB"))])?;
+    di.quiesce("Reviews");
+
+    // get_session() — the paper's sample interaction.
+    let user1 = di.session();
+    let user2 = di.session();
+    println!("user1 session id = {}, user2 session id = {}", user1.id(), user2.id());
+
+    // time=1
+    let u1_a = user1.get_by_index("Reviews", "by_product", b"productA", 100)?;
+    let u2_b = user2.get_by_index("Reviews", "by_product", b"productB", 100)?;
+    println!("t1: user1 sees {} review(s) for A; user2 sees {} for B", u1_a.len(), u2_b.len());
+
+    // time=2: user 1 posts a review for product A *within the session*.
+    user1.put("Reviews", b"rev-new", &[(b("ProductID"), b("productA"))])?;
+    println!("t2: user1 posted rev-new for product A");
+
+    // time=3: user 1 lists reviews for A — MUST include rev-new even if the
+    // AUQ hasn't delivered the index entry yet.
+    let u1_view = user1.get_by_index("Reviews", "by_product", b"productA", 100)?;
+    let u1_rows: Vec<String> =
+        u1_view.iter().map(|h| String::from_utf8_lossy(&h.row).into_owned()).collect();
+    println!("t3: user1 sees {u1_rows:?}");
+    assert!(
+        u1_rows.iter().any(|r| r == "rev-new"),
+        "read-your-writes: user1 must see their own review"
+    );
+
+    // user 2's view is only eventually consistent: it may or may not have
+    // rev-new right now, but after the AUQ drains it must.
+    di.quiesce("Reviews");
+    let u2_view = user2.get_by_index("Reviews", "by_product", b"productA", 100)?;
+    assert_eq!(u2_view.len(), 2);
+    println!("after AUQ drain: user2 sees {} reviews for A ✓", u2_view.len());
+
+    // Session hygiene: end_session() garbage-collects the private table.
+    user1.end();
+    assert!(user1.get_by_index("Reviews", "by_product", b"productA", 1).is_err());
+    println!("user1 session ended; further session reads are rejected ✓");
+
+    Ok(())
+}
