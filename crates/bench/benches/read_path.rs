@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the snapshot read path, layer by layer:
+//! snapshot acquisition, memtable probe, single-table probe (warm cache),
+//! raw block binary search, and the full engine `get`. Together they show
+//! where a warm point read spends its time and prove the lock-free rebuild
+//! pays off end to end.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use diff_index_lsm::{Block, BlockCache, Cell, LsmOptions, LsmTree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use std::sync::Arc;
+use tempdir_lite::TempDir;
+
+const KEYS: u64 = 50_000;
+const TABLES: u64 = 5;
+
+fn key(id: u64) -> Bytes {
+    Bytes::from(format!("user{id:08}"))
+}
+
+/// Same shape as the hotpath harness: TABLES tables of contiguous key
+/// ranges plus a live memtable holding fresher versions of 20% of keys.
+fn build_tree(dir: &TempDir) -> LsmTree {
+    let opts = LsmOptions {
+        block_cache: Some(Arc::new(BlockCache::new(256 * 1024 * 1024))),
+        auto_flush: false,
+        auto_compact: false,
+        compaction_trigger: 0,
+        ..LsmOptions::default()
+    };
+    let tree = LsmTree::open(dir.path().join("db"), opts).unwrap();
+    let per_table = KEYS / TABLES;
+    for id in 0..KEYS {
+        tree.put(key(id), id + 1, vec![b'v'; 100]).unwrap();
+        if id % per_table == per_table - 1 && id != KEYS - 1 {
+            tree.flush().unwrap();
+        }
+    }
+    tree.flush().unwrap();
+    for id in (0..KEYS).step_by(5) {
+        tree.put(key(id), KEYS + id + 1, vec![b'w'; 100]).unwrap();
+    }
+    // Warm the block cache.
+    for id in 0..KEYS {
+        tree.get_latest(&key(id)).unwrap();
+    }
+    tree
+}
+
+fn bench_read_path(c: &mut Criterion) {
+    let dir = TempDir::new("bench-read-path").unwrap();
+    let tree = build_tree(&dir);
+    let mut rng = StdRng::seed_from_u64(0xBE7C);
+
+    let mut g = c.benchmark_group("read_path");
+
+    // Full engine get at snapshot ∞ — the headline number.
+    g.bench_function("engine_get_warm", |b| {
+        b.iter_batched(
+            || key(rng.random_range(0..KEYS)),
+            |k| black_box(tree.get_latest(&k).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Engine get of a key living only in the memtable (fresh version):
+    // never touches a table, isolating snapshot + memtable cost.
+    g.bench_function("engine_get_memtable_hit", |b| {
+        b.iter_batched(
+            || key(rng.random_range(0..KEYS / 5) * 5),
+            |k| black_box(tree.get_latest(&k).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Snapshot scan of 100 rows.
+    g.bench_function("engine_scan_100", |b| {
+        b.iter_batched(
+            || key(rng.random_range(0..KEYS - 200)),
+            |k| black_box(tree.scan(&k, None, u64::MAX, 100).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // Raw block binary search + zero-copy materialization, no engine at all.
+    let cells: Vec<Cell> = (0..64)
+        .map(|i| Cell::put(format!("blk{i:04}"), i + 1, vec![b'x'; 100]))
+        .collect();
+    let block = Block::from_cells(&cells);
+    g.bench_function("block_seek_and_cell", |b| {
+        b.iter_batched(
+            || format!("blk{:04}", rng.random_range(0..64u64)).into_bytes(),
+            |k| {
+                let pos = block.seek(&k, u64::MAX, diff_index_lsm::CellKind::Delete);
+                black_box(block.cell(pos))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_read_path);
+criterion_main!(benches);

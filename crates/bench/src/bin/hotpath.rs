@@ -1,0 +1,166 @@
+//! Read-path hot-path harness: point-get latency (cold and warm block
+//! cache), point-get throughput, and scan throughput against a multi-table
+//! LSM tree. Emits machine-readable results to `BENCH_hotpath.json`
+//! (override with the first CLI argument) alongside a human summary.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p diff-index-bench --bin hotpath [out.json]
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use diff_index_lsm::{BlockCache, LsmOptions, LsmTree};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use tempdir_lite::TempDir;
+
+const KEYS: u64 = 50_000;
+const VALUE_LEN: usize = 100;
+const TABLES: u64 = 5;
+const GET_OPS: usize = 30_000;
+const SCAN_OPS: usize = 300;
+const SCAN_LIMIT: usize = 100;
+
+fn key(id: u64) -> Bytes {
+    Bytes::from(format!("user{id:08}"))
+}
+
+fn value(id: u64) -> Bytes {
+    let mut v = vec![0u8; VALUE_LEN];
+    let mut rng = StdRng::seed_from_u64(id);
+    rng.fill(&mut v[..]);
+    Bytes::from(v)
+}
+
+/// Build a tree with `TABLES` SSTables plus a partially filled memtable, so
+/// gets exercise the full probe path (memtable + several tables).
+fn build_tree(cache: Option<Arc<BlockCache>>, dir: &TempDir) -> LsmTree {
+    let opts = LsmOptions {
+        block_cache: cache,
+        auto_flush: false,
+        auto_compact: false,
+        compaction_trigger: 0,
+        ..LsmOptions::default()
+    };
+    let tree = LsmTree::open(dir.path().join("hotpath"), opts).expect("open");
+    let per_table = KEYS / TABLES;
+    for id in 0..KEYS {
+        tree.put(key(id), id + 1, value(id)).expect("put");
+        if id % per_table == per_table - 1 && id != KEYS - 1 {
+            tree.flush().expect("flush");
+        }
+    }
+    tree.flush().expect("final flush");
+    // A second round of writes for 20% of keys leaves a live memtable and
+    // multi-version rows, as a steady-state server would have.
+    for id in (0..KEYS).step_by(5) {
+        tree.put(key(id), KEYS + id + 1, value(id ^ 1)).expect("put v2");
+    }
+    tree
+}
+
+struct LatencyStats {
+    mean_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    ops_per_sec: f64,
+}
+
+fn stats(mut samples: Vec<f64>) -> LatencyStats {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let pct = |p: f64| samples[((samples.len() - 1) as f64 * p).round() as usize];
+    LatencyStats {
+        mean_ns: mean,
+        p50_ns: pct(0.5),
+        p99_ns: pct(0.99),
+        ops_per_sec: 1e9 / mean,
+    }
+}
+
+fn time_gets(tree: &LsmTree, ops: usize, seed: u64) -> LatencyStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(ops);
+    for _ in 0..ops {
+        let id = rng.random_range(0..KEYS);
+        let k = key(id);
+        let start = Instant::now();
+        let got = tree.get_latest(&k).expect("get");
+        samples.push(start.elapsed().as_nanos() as f64);
+        assert!(got.is_some(), "key {id} must exist");
+    }
+    stats(samples)
+}
+
+fn time_scans(tree: &LsmTree, ops: usize, seed: u64) -> (LatencyStats, f64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(ops);
+    let mut rows = 0usize;
+    for _ in 0..ops {
+        let id = rng.random_range(0..KEYS - SCAN_LIMIT as u64);
+        let start_key = key(id);
+        let start = Instant::now();
+        let got = tree
+            .scan(&start_key, None, u64::MAX, SCAN_LIMIT)
+            .expect("scan");
+        samples.push(start.elapsed().as_nanos() as f64);
+        rows += got.len();
+    }
+    let s = stats(samples);
+    let rows_per_sec = rows as f64 / (s.mean_ns * ops as f64 / 1e9);
+    (s, rows_per_sec)
+}
+
+fn json_entry(name: &str, s: &LatencyStats, extra: &str) -> String {
+    format!(
+        "    {{\"name\":\"{name}\",\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p99_ns\":{:.1},\"ops_per_sec\":{:.1}{extra}}}",
+        s.mean_ns, s.p50_ns, s.p99_ns, s.ops_per_sec,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    // Cold: no block cache at all — every block read decodes from disk.
+    let cold_dir = TempDir::new("hotpath-cold").expect("tempdir");
+    let cold_tree = build_tree(None, &cold_dir);
+    let cold = time_gets(&cold_tree, GET_OPS / 3, 0xC01D);
+
+    // Warm: generous shared cache, pre-warmed with one full key sweep.
+    let warm_dir = TempDir::new("hotpath-warm").expect("tempdir");
+    let cache = Arc::new(BlockCache::new(256 * 1024 * 1024));
+    let warm_tree = build_tree(Some(Arc::clone(&cache)), &warm_dir);
+    for id in 0..KEYS {
+        warm_tree.get_latest(&key(id)).expect("warmup get");
+    }
+    let warm = time_gets(&warm_tree, GET_OPS, 0x3A93);
+    let (scan, rows_per_sec) = time_scans(&warm_tree, SCAN_OPS, 0x5CA9);
+
+    let hits = cache.hits();
+    let misses = cache.misses();
+
+    println!("hotpath: {KEYS} keys x {VALUE_LEN} B, {TABLES} tables + live memtable");
+    for (name, s) in [("point_get_cold", &cold), ("point_get_warm", &warm), ("scan_warm", &scan)] {
+        println!(
+            "  {name:<16} mean {:>9.1} ns  p50 {:>9.1} ns  p99 {:>9.1} ns  ({:.0} ops/s)",
+            s.mean_ns, s.p50_ns, s.p99_ns, s.ops_per_sec
+        );
+    }
+    println!("  scan rows/s      {rows_per_sec:.0}");
+    println!("  block cache      {hits} hits / {misses} misses");
+
+    let json = format!(
+        "{{\n  \"config\": {{\"keys\": {KEYS}, \"value_len\": {VALUE_LEN}, \"tables\": {TABLES}, \"scan_limit\": {SCAN_LIMIT}}},\n  \"results\": [\n{},\n{},\n{}\n  ],\n  \"scan_rows_per_sec\": {rows_per_sec:.1},\n  \"block_cache\": {{\"hits\": {hits}, \"misses\": {misses}}}\n}}\n",
+        json_entry("point_get_cold", &cold, ""),
+        json_entry("point_get_warm", &warm, ""),
+        json_entry("scan_warm", &scan, &format!(",\"rows_per_sec\":{rows_per_sec:.1}")),
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+}

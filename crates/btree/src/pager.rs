@@ -56,7 +56,7 @@ impl Pager {
     /// number of resident pages.
     pub fn open(path: impl Into<PathBuf>, cache_pages: usize) -> io::Result<Self> {
         let path = path.into();
-        let file = OpenOptions::new().read(true).write(true).create(true).open(&path)?;
+        let file = OpenOptions::new().read(true).write(true).create(true).truncate(false).open(&path)?;
         let len = file.metadata()?.len();
         let page_count = len.div_ceil(PAGE_SIZE as u64);
         Ok(Self {

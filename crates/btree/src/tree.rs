@@ -21,6 +21,10 @@ use std::path::PathBuf;
 /// Meta page layout: magic (8) + root page id (8).
 const META_MAGIC: u64 = 0xB7EE_0001_CAFE_D00D;
 
+/// Result of a recursive insert: the value the key replaced (if any), plus
+/// `(separator, new page)` when the node split on the way back up.
+type InsertOutcome = (Option<Vec<u8>>, Option<(Vec<u8>, u64)>);
+
 /// A paged on-disk B+Tree with in-place updates.
 pub struct BTree {
     pager: Pager,
@@ -101,7 +105,7 @@ impl BTree {
         page: u64,
         key: &[u8],
         value: &[u8],
-    ) -> io::Result<(Option<Vec<u8>>, Option<(Vec<u8>, u64)>)> {
+    ) -> io::Result<InsertOutcome> {
         match self.load(page)? {
             Node::Leaf { mut entries, next } => {
                 let old = match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
@@ -197,14 +201,9 @@ impl BTree {
     ) -> io::Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let mut page = *self.root.lock();
         // Descend to the leaf containing `start`.
-        loop {
-            match self.load(page)? {
-                Node::Internal { keys, children } => {
-                    let idx = keys.partition_point(|k| k.as_slice() <= start);
-                    page = children[idx];
-                }
-                Node::Leaf { .. } => break,
-            }
+        while let Node::Internal { keys, children } = self.load(page)? {
+            let idx = keys.partition_point(|k| k.as_slice() <= start);
+            page = children[idx];
         }
         let mut out = Vec::new();
         loop {

@@ -21,6 +21,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
+/// One whole row: its key plus the visible `(column, value)` cells, as
+/// returned by the grouped row scans.
+pub type RowGroup = (Bytes, Vec<(Bytes, VersionedValue)>);
+
 /// Cluster construction options.
 #[derive(Debug, Clone)]
 pub struct ClusterOptions {
@@ -464,7 +468,7 @@ impl Cluster {
         end_row: Option<&[u8]>,
         ts: u64,
         limit: usize,
-    ) -> Result<Vec<(Bytes, Vec<(Bytes, VersionedValue)>)>> {
+    ) -> Result<Vec<RowGroup>> {
         let start = row_start(start_row);
         let end = end_row.map(row_start);
         self.scan_grouped(table, &start, end.as_deref(), ts, limit)
@@ -480,7 +484,7 @@ impl Cluster {
         row_prefix: &[u8],
         ts: u64,
         limit: usize,
-    ) -> Result<Vec<(Bytes, Vec<(Bytes, VersionedValue)>)>> {
+    ) -> Result<Vec<RowGroup>> {
         let start = escape_no_term(row_prefix);
         let end = prefix_end(&start);
         self.scan_grouped(table, &start, end.as_deref(), ts, limit)
@@ -498,7 +502,7 @@ impl Cluster {
         end_row: Option<&[u8]>,
         ts: u64,
         limit: usize,
-    ) -> Result<Vec<(Bytes, Vec<(Bytes, VersionedValue)>)>> {
+    ) -> Result<Vec<RowGroup>> {
         let start = escape_no_term(start_row);
         let end = end_row.map(escape_no_term);
         self.scan_grouped(table, &start, end.as_deref(), ts, limit)
@@ -511,9 +515,9 @@ impl Cluster {
         end: Option<&[u8]>,
         ts: u64,
         limit: usize,
-    ) -> Result<Vec<(Bytes, Vec<(Bytes, VersionedValue)>)>> {
+    ) -> Result<Vec<RowGroup>> {
         let regions = self.regions_in_range(table, start, end)?;
-        let mut rows: Vec<(Bytes, Vec<(Bytes, VersionedValue)>)> = Vec::new();
+        let mut rows: Vec<RowGroup> = Vec::new();
         'regions: for region in regions {
             let cells = region.engine.scan(start, end, ts, usize::MAX)?;
             for (key, val) in cells {

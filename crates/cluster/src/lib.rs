@@ -28,7 +28,7 @@ pub mod encoding;
 pub mod error;
 pub mod keyspace;
 
-pub use cluster::{Cluster, ClusterOptions, PutOutcome, WeakCluster};
+pub use cluster::{Cluster, ClusterOptions, PutOutcome, RowGroup, WeakCluster};
 pub use coproc::{ColumnValue, ReplayedOp, TableObserver};
 pub use error::{ClusterError, Result};
 pub use keyspace::{PartitionMap, RegionId, RegionSpec, ServerId};

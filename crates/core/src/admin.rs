@@ -219,7 +219,7 @@ impl DiffIndex {
         base_table: &str,
         index_name: &str,
         hits: &[IndexHit],
-    ) -> Result<Vec<(Bytes, Vec<(Bytes, diff_index_lsm::VersionedValue)>)>> {
+    ) -> Result<Vec<diff_index_cluster::RowGroup>> {
         let handle = self.index(base_table, index_name)?;
         read::fetch_rows(&self.inner.cluster, &handle.spec, hits)
     }

@@ -104,13 +104,14 @@ impl AuqMetrics {
     }
 }
 
-/// The queue plus its background worker, bound to one index.
+/// The queue plus its background workers, bound to one index.
 pub struct Auq {
     state: Mutex<State>,
     cv: Condvar,
     cluster: WeakCluster,
     spec: Arc<IndexSpec>,
     metrics: Arc<AuqMetrics>,
+    workers: usize,
 }
 
 impl std::fmt::Debug for Auq {
@@ -125,8 +126,24 @@ impl std::fmt::Debug for Auq {
 }
 
 impl Auq {
-    /// Create the queue and start its APS worker thread.
+    /// Create the queue and start a single APS worker thread.
     pub fn start(cluster: WeakCluster, spec: Arc<IndexSpec>) -> Arc<Self> {
+        Self::start_with_workers(cluster, spec, 1)
+    }
+
+    /// Create the queue and start `workers` APS worker threads (at least
+    /// one). Tasks are pulled from the shared queue by whichever worker is
+    /// free, so index maintenance for independent rows proceeds in parallel;
+    /// §5.1's per-task protocol is unchanged. Note that tasks for the *same*
+    /// row may then complete out of order — harmless, because every index
+    /// entry carries its base entry's timestamp (§4.3), making delivery
+    /// commutative.
+    pub fn start_with_workers(
+        cluster: WeakCluster,
+        spec: Arc<IndexSpec>,
+        workers: usize,
+    ) -> Arc<Self> {
+        let workers = workers.max(1);
         let auq = Arc::new(Self {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
@@ -138,13 +155,21 @@ impl Auq {
             cluster,
             spec,
             metrics: Arc::new(AuqMetrics::default()),
+            workers,
         });
-        let worker = Arc::clone(&auq);
-        std::thread::Builder::new()
-            .name(format!("aps-{}", worker.spec.name))
-            .spawn(move || worker.aps_loop())
-            .expect("spawn APS worker");
+        for i in 0..workers {
+            let worker = Arc::clone(&auq);
+            std::thread::Builder::new()
+                .name(format!("aps-{}-{i}", worker.spec.name))
+                .spawn(move || worker.aps_loop())
+                .expect("spawn APS worker");
+        }
         auq
+    }
+
+    /// Number of APS worker threads serving this queue.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Counters and staleness statistics.
@@ -511,6 +536,53 @@ mod tests {
             );
         }
         auq.resume();
+    }
+
+    #[test]
+    fn multi_worker_drain_completes_all_pending_work() {
+        let (_d, cluster, spec, _single) = setup();
+        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), 4);
+        assert_eq!(auq.workers(), 4);
+        for i in 0..100 {
+            let row = format!("row{i:03}");
+            let val = format!("val{i:03}");
+            let ts = cluster.put("base", row.as_bytes(), &[(b("name"), b(&val))]).unwrap();
+            auq.enqueue(IndexTask::Maintain {
+                row: b(&row),
+                ts,
+                is_delete: false,
+                put_columns: vec![(b("name"), b(&val))],
+            });
+        }
+        // pause_and_drain must wait for tasks in flight on EVERY worker, not
+        // just an empty queue.
+        auq.pause_and_drain();
+        assert_eq!(auq.depth(), 0);
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 100);
+        for i in 0..100 {
+            let key = index_row(&[b(&format!("val{i:03}"))], format!("row{i:03}").as_bytes());
+            assert!(
+                cluster.get(&spec.index_table(), &key, b"", u64::MAX).unwrap().is_some(),
+                "task {i} must have been delivered before drain returned"
+            );
+        }
+        auq.resume();
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let (_d, cluster, spec, _single) = setup();
+        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), 0);
+        assert_eq!(auq.workers(), 1);
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("v"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain {
+            row: b("r1"),
+            ts,
+            is_delete: false,
+            put_columns: vec![(b("name"), b("v"))],
+        });
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -156,7 +156,12 @@ pub struct AsyncObserver {
 impl SyncFullObserver {
     /// Build the observer (and its failure-retry AUQ) for `spec`.
     pub fn new(cluster: &Cluster, spec: Arc<IndexSpec>) -> Self {
-        let auq = Auq::start(cluster.downgrade(), Arc::clone(&spec));
+        Self::with_workers(cluster, spec, 1)
+    }
+
+    /// Like [`SyncFullObserver::new`] with `workers` retry-queue threads.
+    pub fn with_workers(cluster: &Cluster, spec: Arc<IndexSpec>, workers: usize) -> Self {
+        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), workers);
         Self { spec, auq }
     }
 
@@ -169,7 +174,12 @@ impl SyncFullObserver {
 impl SyncInsertObserver {
     /// Build the observer (and its failure-retry AUQ) for `spec`.
     pub fn new(cluster: &Cluster, spec: Arc<IndexSpec>) -> Self {
-        let auq = Auq::start(cluster.downgrade(), Arc::clone(&spec));
+        Self::with_workers(cluster, spec, 1)
+    }
+
+    /// Like [`SyncInsertObserver::new`] with `workers` retry-queue threads.
+    pub fn with_workers(cluster: &Cluster, spec: Arc<IndexSpec>, workers: usize) -> Self {
+        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), workers);
         Self { spec, auq }
     }
 
@@ -182,7 +192,14 @@ impl SyncInsertObserver {
 impl AsyncObserver {
     /// Build the observer and its AUQ/APS for `spec`.
     pub fn new(cluster: &Cluster, spec: Arc<IndexSpec>) -> Self {
-        let auq = Auq::start(cluster.downgrade(), Arc::clone(&spec));
+        Self::with_workers(cluster, spec, 1)
+    }
+
+    /// Like [`AsyncObserver::new`] with `workers` APS threads draining the
+    /// queue in parallel — the knob behind the paper's observation that APS
+    /// throughput bounds index staleness (§8.4, Figure 11).
+    pub fn with_workers(cluster: &Cluster, spec: Arc<IndexSpec>, workers: usize) -> Self {
+        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), workers);
         Self { spec, auq }
     }
 

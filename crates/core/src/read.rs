@@ -115,7 +115,7 @@ pub fn fetch_rows(
     cluster: &Cluster,
     spec: &IndexSpec,
     hits: &[IndexHit],
-) -> Result<Vec<(Bytes, Vec<(Bytes, diff_index_lsm::VersionedValue)>)>> {
+) -> Result<Vec<diff_index_cluster::RowGroup>> {
     let mut out = Vec::with_capacity(hits.len());
     for h in hits {
         let row = cluster.get_row(&spec.base_table, &h.row, u64::MAX)?;

@@ -71,7 +71,7 @@ fn auto_flush_under_write_pressure_also_drains() {
     di.quiesce("item");
     let handle = di.index("item", "title").unwrap();
     let am = handle.auq.metrics();
-    let hits = di.get_by_index("item", "title", &vec![b'x'; 128], 1000).unwrap();
+    let hits = di.get_by_index("item", "title", &[b'x'; 128], 1000).unwrap();
     assert_eq!(
         hits.len(),
         400,

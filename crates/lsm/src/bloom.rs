@@ -33,7 +33,14 @@ fn fnv1a(data: &[u8], seed: u64) -> u64 {
 
 fn hash_pair(key: &[u8]) -> (u64, u64) {
     let h1 = fnv1a(key, 0);
-    let h2 = fnv1a(key, 0x9E37_79B9_7F4A_7C15);
+    // Derive the second hash by finalizing the first (splitmix64 mixer)
+    // instead of a second pass over the key: the probe loop is on the warm
+    // read path and double-hashing only needs the pair to be decorrelated,
+    // not independently computed.
+    let mut h2 = h1 ^ 0x9E37_79B9_7F4A_7C15;
+    h2 = (h2 ^ (h2 >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h2 = (h2 ^ (h2 >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h2 ^= h2 >> 31;
     // Avoid a degenerate second hash that would collapse all probes.
     (h1, h2 | 1)
 }
@@ -62,17 +69,22 @@ impl BloomBuilder {
     /// Finish into an immutable filter.
     pub fn build(self) -> Bloom {
         let n = self.hashes.len().max(1);
-        let nbits = (n * self.bits_per_key).max(64);
-        let nbytes = nbits.div_ceil(8);
+        // Round the bit count up to a power of two so probe positions come
+        // from a mask rather than a 64-bit modulo: the probes are serially
+        // dependent (double hashing), so k divisions in a row would dominate
+        // the filter check. Costs at most 2x space over the exact size.
+        let nbits = (n * self.bits_per_key).max(64).next_power_of_two();
+        let nbytes = nbits / 8;
         let nbits = nbytes * 8;
         // k = ln2 * bits/key, clamped to a sane range.
         let k = ((self.bits_per_key as f64) * 0.69) as u32;
         let num_hashes = k.clamp(1, 30);
+        let mask = nbits as u64 - 1;
         let mut bits = vec![0u8; nbytes];
         for (h1, h2) in &self.hashes {
             let mut h = *h1;
             for _ in 0..num_hashes {
-                let bit = (h % nbits as u64) as usize;
+                let bit = (h & mask) as usize;
                 bits[bit / 8] |= 1 << (bit % 8);
                 h = h.wrapping_add(*h2);
             }
@@ -90,12 +102,25 @@ impl Bloom {
         let nbits = (self.bits.len() * 8) as u64;
         let (h1, h2) = hash_pair(key);
         let mut h = h1;
-        for _ in 0..self.num_hashes {
-            let bit = (h % nbits) as usize;
-            if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
-                return false;
+        if nbits.is_power_of_two() {
+            // Fast path for filters we build ourselves: mask, no division.
+            let mask = nbits - 1;
+            for _ in 0..self.num_hashes {
+                let bit = (h & mask) as usize;
+                if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                    return false;
+                }
+                h = h.wrapping_add(h2);
             }
-            h = h.wrapping_add(h2);
+        } else {
+            // `decode` accepts arbitrary byte lengths; stay correct for them.
+            for _ in 0..self.num_hashes {
+                let bit = (h % nbits) as usize;
+                if self.bits[bit / 8] & (1 << (bit % 8)) == 0 {
+                    return false;
+                }
+                h = h.wrapping_add(h2);
+            }
         }
         true
     }

@@ -1,7 +1,12 @@
 //! Sharded LRU block cache shared by all tables of an engine (HBase's
 //! *block cache*; the paper warms it before read experiments, §8.1).
+//!
+//! Values are [`Block`]s: one shared byte buffer plus a cell-offset array,
+//! so a cache hit hands back the block for zero-copy slicing rather than a
+//! pre-materialized `Vec<Cell>`.
 
-use crate::types::Cell;
+use crate::sstable::Block;
+use crate::util::FxBuildHasher;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,15 +18,17 @@ const SHARDS: usize = 16;
 type BlockId = (u64, u64);
 
 struct Shard {
-    /// Map from block id to (decoded block, LRU tick of last touch).
-    map: HashMap<BlockId, (Arc<Vec<Cell>>, u64, usize)>,
+    /// Map from block id to (decoded block, LRU tick of last touch, size).
+    /// Fx-hashed: a cache hit is on the warm read path, and SipHash-ing the
+    /// 16-byte id costs more than the bucket probe it guards.
+    map: HashMap<BlockId, (Arc<Block>, u64, usize), FxBuildHasher>,
     bytes: usize,
     capacity: usize,
     tick: u64,
 }
 
 impl Shard {
-    fn touch(&mut self, id: BlockId) -> Option<Arc<Vec<Cell>>> {
+    fn touch(&mut self, id: BlockId) -> Option<Arc<Block>> {
         self.tick += 1;
         let tick = self.tick;
         let entry = self.map.get_mut(&id)?;
@@ -29,16 +36,18 @@ impl Shard {
         Some(Arc::clone(&entry.0))
     }
 
-    fn insert(&mut self, id: BlockId, cells: Arc<Vec<Cell>>) {
-        let size = block_size(&cells);
+    /// Insert and return how many resident blocks were evicted to make room.
+    fn insert(&mut self, id: BlockId, block: Arc<Block>) -> u64 {
+        let size = block.size_bytes();
         if size > self.capacity {
-            return; // Oversized block: never cache.
+            return 0; // Oversized block: never cache.
         }
         self.tick += 1;
-        if let Some((_, _, old)) = self.map.insert(id, (cells, self.tick, size)) {
+        if let Some((_, _, old)) = self.map.insert(id, (block, self.tick, size)) {
             self.bytes = self.bytes.saturating_sub(old);
         }
         self.bytes += size;
+        let mut evicted = 0;
         while self.bytes > self.capacity {
             // Evict the least-recently-touched entry. Linear scan is fine:
             // shards stay small and eviction is off the hot path.
@@ -47,13 +56,11 @@ impl Shard {
             };
             if let Some((_, _, size)) = self.map.remove(&victim) {
                 self.bytes = self.bytes.saturating_sub(size);
+                evicted += 1;
             }
         }
+        evicted
     }
-}
-
-fn block_size(cells: &[Cell]) -> usize {
-    cells.iter().map(Cell::approximate_size).sum::<usize>() + 32
 }
 
 /// Thread-safe sharded LRU cache of decoded data blocks.
@@ -61,6 +68,7 @@ pub struct BlockCache {
     shards: Vec<Mutex<Shard>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for BlockCache {
@@ -68,6 +76,7 @@ impl std::fmt::Debug for BlockCache {
         f.debug_struct("BlockCache")
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -80,7 +89,7 @@ impl BlockCache {
             shards: (0..SHARDS)
                 .map(|_| {
                     Mutex::new(Shard {
-                        map: HashMap::new(),
+                        map: HashMap::default(),
                         bytes: 0,
                         capacity: per_shard,
                         tick: 0,
@@ -89,6 +98,7 @@ impl BlockCache {
                 .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -98,7 +108,7 @@ impl BlockCache {
     }
 
     /// Fetch a block if cached.
-    pub fn get(&self, table_id: u64, offset: u64) -> Option<Arc<Vec<Cell>>> {
+    pub fn get(&self, table_id: u64, offset: u64) -> Option<Arc<Block>> {
         let got = self.shard((table_id, offset)).lock().touch((table_id, offset));
         match &got {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -107,9 +117,18 @@ impl BlockCache {
         got
     }
 
-    /// Insert a freshly decoded block.
-    pub fn insert(&self, table_id: u64, offset: u64, cells: Arc<Vec<Cell>>) {
-        self.shard((table_id, offset)).lock().insert((table_id, offset), cells);
+    /// Insert a freshly decoded block. Returns the number of blocks evicted
+    /// to stay within the byte budget, so callers can surface eviction
+    /// pressure in their own metrics.
+    pub fn insert(&self, table_id: u64, offset: u64, block: Arc<Block>) -> u64 {
+        let evicted = self
+            .shard((table_id, offset))
+            .lock()
+            .insert((table_id, offset), block);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+        evicted
     }
 
     /// Cumulative cache hits.
@@ -122,6 +141,11 @@ impl BlockCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Cumulative evictions across all shards.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Total resident bytes across shards.
     pub fn resident_bytes(&self) -> usize {
         self.shards.iter().map(|s| s.lock().bytes).sum()
@@ -131,9 +155,12 @@ impl BlockCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::types::Cell;
 
-    fn block(n: usize) -> Arc<Vec<Cell>> {
-        Arc::new((0..n).map(|i| Cell::put(format!("k{i}"), 1, vec![0u8; 50])).collect())
+    fn block(n: usize) -> Arc<Block> {
+        let cells: Vec<Cell> =
+            (0..n).map(|i| Cell::put(format!("k{i:04}"), 1, vec![0u8; 50])).collect();
+        Arc::new(Block::from_cells(&cells))
     }
 
     #[test]
@@ -155,12 +182,13 @@ mod tests {
     }
 
     #[test]
-    fn eviction_respects_capacity() {
+    fn eviction_respects_capacity_and_counts() {
         let c = BlockCache::new(16 * 1024);
         for i in 0..200 {
             c.insert(i, 0, block(8));
         }
         assert!(c.resident_bytes() <= 16 * 1024 + 4096, "resident {} too big", c.resident_bytes());
+        assert!(c.evictions() > 0, "filling 200 blocks into 16KB must evict");
     }
 
     #[test]
@@ -178,8 +206,9 @@ mod tests {
     #[test]
     fn oversized_block_is_not_cached() {
         let c = BlockCache::new(SHARDS * 1024);
-        c.insert(1, 0, block(1000)); // ~50KB > 1KB shard capacity
+        c.insert(1, 0, block(1000)); // ~60KB > 1KB shard capacity
         assert!(c.get(1, 0).is_none());
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod wal;
 pub use cache::BlockCache;
 pub use engine::{FlushHook, LsmOptions, LsmTree};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use sstable::TableOptions;
+pub use sstable::{Block, TableOptions};
 pub use types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp, VersionedValue, DELTA};

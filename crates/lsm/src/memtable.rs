@@ -4,20 +4,48 @@
 //! All versions of a key coexist: a `put` appends a new `(key, ts)` cell and
 //! never modifies earlier cells — the "no in-place update" property the paper
 //! builds on.
+//!
+//! Layout: version lists live in a flat slot arena, reached through **two**
+//! key maps — a hash map for point lookups and a `BTreeMap` for ordered
+//! iteration. A point `get` is one O(1) hash probe plus a binary search of
+//! the version list; a `BTreeMap<Bytes, _>` walk would instead chase an
+//! out-of-line key buffer per comparison (a cache miss each), which
+//! dominated warm point-read latency. Both maps share the same `Bytes`
+//! (refcounted), so the duplication costs two pointers per key, not two
+//! copies of the key.
 
 use crate::types::{Cell, CellKind, InternalKey, Timestamp, VersionedValue};
+use crate::util::FxBuildHasher;
 use bytes::Bytes;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 
-/// Sorted multi-version in-memory store.
-///
-/// Backed by a `BTreeMap<InternalKey, Bytes>`; the internal-key ordering puts
-/// newer versions of a user key first, so point lookups are a single
-/// range-seek.
+/// One version of a user key: `(ts, kind)` plus the value payload (empty for
+/// tombstones). Within a key's version list, order is ts **descending** with
+/// `Delete` before `Put` at equal ts — the same precedence `InternalKey`
+/// gives, so flush output stays byte-identical to the seed's.
+#[derive(Debug, Clone)]
+struct Version {
+    ts: Timestamp,
+    kind: CellKind,
+    value: Bytes,
+}
+
+/// Sort key for a version list: newest first, tombstone first within a tie.
+fn version_rank(ts: Timestamp, kind: CellKind) -> (std::cmp::Reverse<Timestamp>, std::cmp::Reverse<u8>) {
+    (std::cmp::Reverse(ts), std::cmp::Reverse(kind.to_u8()))
+}
+
+/// Sorted multi-version in-memory store with O(1) point lookups.
 #[derive(Debug, Default)]
 pub struct MemTable {
-    map: BTreeMap<InternalKey, Bytes>,
+    /// Version lists, newest first; indexed by the two key maps.
+    slots: Vec<Vec<Version>>,
+    /// Point-lookup index: user key → slot.
+    by_key: HashMap<Bytes, u32, FxBuildHasher>,
+    /// Ordered index for iteration and range scans: user key → slot.
+    ordered: BTreeMap<Bytes, u32>,
+    cells: usize,
     approximate_bytes: usize,
     max_ts: Timestamp,
 }
@@ -32,34 +60,62 @@ impl MemTable {
     /// `(key, ts, kind)` cell is idempotent, which the Diff-Index failure
     /// recovery protocol relies on (§5.3: replayed AUQ deliveries).
     pub fn insert(&mut self, cell: Cell) {
-        self.approximate_bytes += cell.approximate_size();
-        self.max_ts = self.max_ts.max(cell.key.ts);
-        if let Some(prev) = self.map.insert(cell.key, cell.value) {
-            // Overwritten duplicate: give back its value bytes.
-            self.approximate_bytes = self.approximate_bytes.saturating_sub(prev.len());
+        let Cell { key, value } = cell;
+        self.max_ts = self.max_ts.max(key.ts);
+        let slot = match self.by_key.get(key.user_key.as_ref()) {
+            Some(&i) => i as usize,
+            None => {
+                let i = self.slots.len();
+                self.slots.push(Vec::new());
+                self.by_key.insert(key.user_key.clone(), i as u32);
+                self.ordered.insert(key.user_key.clone(), i as u32);
+                i
+            }
+        };
+        let versions = &mut self.slots[slot];
+        let rank = version_rank(key.ts, key.kind);
+        match versions.binary_search_by_key(&rank, |v| version_rank(v.ts, v.kind)) {
+            Ok(i) => {
+                // Duplicate (key, ts, kind): replace the value in place.
+                self.approximate_bytes = self
+                    .approximate_bytes
+                    .saturating_sub(versions[i].value.len())
+                    + value.len();
+                versions[i].value = value;
+            }
+            Err(i) => {
+                self.approximate_bytes += key.user_key.len() + value.len() + 24;
+                self.cells += 1;
+                versions.insert(i, Version { ts: key.ts, kind: key.kind, value });
+            }
         }
     }
 
     /// Latest version of `user_key` visible at `ts` (i.e. with version
     /// timestamp `<= ts`). Returns the cell so callers can distinguish
-    /// tombstones from absence.
+    /// tombstones from absence. Allocation-free until the hit is
+    /// materialized (and `Bytes` clones are refcount bumps).
     pub fn get_versioned(&self, user_key: &[u8], ts: Timestamp) -> Option<Cell> {
-        let seek = InternalKey::seek_to(Bytes::copy_from_slice(user_key), ts);
-        let (k, v) = self
-            .map
-            .range((Bound::Included(seek), Bound::Unbounded))
-            .next()?;
-        if k.user_key.as_ref() != user_key {
-            return None;
-        }
-        Some(Cell { key: k.clone(), value: v.clone() })
+        let (key, &slot) = self.by_key.get_key_value(user_key)?;
+        let versions = &self.slots[slot as usize];
+        let i = versions.partition_point(|v| v.ts > ts);
+        let v = versions.get(i)?;
+        Some(Cell {
+            key: InternalKey { user_key: key.clone(), ts: v.ts, kind: v.kind },
+            value: v.value.clone(),
+        })
     }
 
-    /// Latest visible value at `ts`, hiding tombstones.
+    /// Latest visible value at `ts`, hiding tombstones. Unlike
+    /// [`MemTable::get_versioned`] this never touches the stored key, so the
+    /// hot point-read path does zero allocations.
     pub fn get(&self, user_key: &[u8], ts: Timestamp) -> Option<VersionedValue> {
-        match self.get_versioned(user_key, ts) {
-            Some(c) if c.key.kind == CellKind::Put => {
-                Some(VersionedValue { value: c.value, ts: c.key.ts })
+        let &slot = self.by_key.get(user_key)?;
+        let versions = &self.slots[slot as usize];
+        let i = versions.partition_point(|v| v.ts > ts);
+        match versions.get(i) {
+            Some(v) if v.kind == CellKind::Put => {
+                Some(VersionedValue { value: v.value.clone(), ts: v.ts })
             }
             _ => None,
         }
@@ -68,9 +124,12 @@ impl MemTable {
     /// Iterate all cells in internal-key order (all versions, tombstones
     /// included). Used by flush and merging reads.
     pub fn iter(&self) -> impl Iterator<Item = Cell> + '_ {
-        self.map
-            .iter()
-            .map(|(k, v)| Cell { key: k.clone(), value: v.clone() })
+        self.ordered.iter().flat_map(|(k, &slot)| {
+            self.slots[slot as usize].iter().map(move |v| Cell {
+                key: InternalKey { user_key: k.clone(), ts: v.ts, kind: v.kind },
+                value: v.value.clone(),
+            })
+        })
     }
 
     /// Iterate cells whose user key lies in `[start, end)` (all versions).
@@ -79,25 +138,29 @@ impl MemTable {
         start: &[u8],
         end: Option<&[u8]>,
     ) -> impl Iterator<Item = Cell> + 'a {
-        let lo = InternalKey::seek_to(Bytes::copy_from_slice(start), Timestamp::MAX);
         let hi: Option<Bytes> = end.map(Bytes::copy_from_slice);
-        self.map
-            .range((Bound::Included(lo), Bound::Unbounded))
+        self.ordered
+            .range::<[u8], _>((Bound::Included(start), Bound::Unbounded))
             .take_while(move |(k, _)| match &hi {
-                Some(h) => k.user_key < *h,
+                Some(h) => k.as_ref() < h.as_ref(),
                 None => true,
             })
-            .map(|(k, v)| Cell { key: k.clone(), value: v.clone() })
+            .flat_map(|(k, &slot)| {
+                self.slots[slot as usize].iter().map(move |v| Cell {
+                    key: InternalKey { user_key: k.clone(), ts: v.ts, kind: v.kind },
+                    value: v.value.clone(),
+                })
+            })
     }
 
     /// Number of stored cells (versions, not distinct user keys).
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.cells
     }
 
     /// True if no cells are stored.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.cells == 0
     }
 
     /// Approximate heap footprint in bytes, for flush-threshold accounting.
@@ -177,6 +240,15 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_insert_replaces_value() {
+        let mut m = MemTable::new();
+        m.insert(Cell::put("k", 1, "old"));
+        m.insert(Cell::put("k", 1, "newer"));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(b"k", 1).unwrap().value, Bytes::from("newer"));
+    }
+
+    #[test]
     fn iter_is_sorted_newest_version_first() {
         let m = mt(&[
             Cell::put("b", 1, "b1"),
@@ -193,6 +265,13 @@ mod tests {
                 (Bytes::from("b"), 1)
             ]
         );
+    }
+
+    #[test]
+    fn iter_orders_tombstone_before_put_at_equal_ts() {
+        let m = mt(&[Cell::put("k", 4, "v"), Cell::delete("k", 4)]);
+        let kinds: Vec<CellKind> = m.iter().map(|c| c.key.kind).collect();
+        assert_eq!(kinds, vec![CellKind::Delete, CellKind::Put]);
     }
 
     #[test]
@@ -227,5 +306,25 @@ mod tests {
         m.insert(Cell::put("k", 1, "v"));
         assert!(!m.is_empty());
         assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn point_and_ordered_indexes_stay_consistent() {
+        let mut m = MemTable::new();
+        for i in (0..500).rev() {
+            m.insert(Cell::put(format!("key{i:04}"), i + 1, format!("v{i}")));
+        }
+        // Every key reachable via the hash index...
+        for i in 0..500u64 {
+            assert_eq!(
+                m.get(format!("key{i:04}").as_bytes(), u64::MAX).unwrap().value,
+                Bytes::from(format!("v{i}"))
+            );
+        }
+        // ...and the ordered iteration is sorted despite reverse inserts.
+        let keys: Vec<Bytes> = m.iter().map(|c| c.key.user_key).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
     }
 }

@@ -73,6 +73,12 @@ counters! {
     tables_skipped,
     /// Cells dropped by compaction garbage collection.
     gc_dropped_cells,
+    /// Data-block reads served from the block cache.
+    block_cache_hits,
+    /// Data-block reads that had to hit disk and decode.
+    block_cache_misses,
+    /// Blocks evicted from the cache to stay within its byte budget.
+    block_cache_evictions,
 }
 
 impl Metrics {

@@ -18,12 +18,14 @@
 
 use crate::bloom::{Bloom, BloomBuilder};
 use crate::cache::BlockCache;
-use crate::types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp};
+use crate::metrics::Metrics;
+use crate::types::{cmp_internal, Cell, CellKind, InternalKey, LsmError, Result, Timestamp};
 use crate::util::{
     crc32, get_len_prefixed, get_u32, get_u64, get_varint, put_len_prefixed, put_u32, put_u64,
     put_varint,
 };
 use bytes::Bytes;
+use std::cmp::Ordering;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::os::unix::fs::FileExt;
@@ -222,14 +224,185 @@ impl TableBuilder {
 }
 
 // ---------------------------------------------------------------------------
+// Decoded data block
+// ---------------------------------------------------------------------------
+
+/// A decoded, immutable data block: the block body as **one** shared byte
+/// buffer plus a per-cell offset array.
+///
+/// The seed decoded every block into a `Vec<Cell>`, paying two
+/// `Bytes::copy_from_slice` allocations per cell up front and a linear scan
+/// per lookup. A `Block` instead validates the encoding once, remembers
+/// where each cell starts, and hands out cells on demand: key/value `Bytes`
+/// are O(1) refcounted windows into the block buffer (`Bytes::slice`), and
+/// point lookups binary-search the offset array with borrowed-slice key
+/// comparisons — no allocation on the lookup path at all.
+#[derive(Debug)]
+pub struct Block {
+    /// Block body (cell encodings only; the trailing CRC is stripped).
+    data: Bytes,
+    /// Byte offset of each cell encoding within `data`, ascending.
+    offsets: Vec<u32>,
+    /// Per-cell key prefix (see [`key_prefix`]), same order as `offsets`.
+    /// Seeks scan this contiguous array instead of binary-searching the
+    /// block body: on a cold block the body parses are serially-dependent
+    /// DRAM misses, while a sequential prefix scan streams through the
+    /// hardware prefetcher. Only prefix-tied cells are parsed.
+    prefixes: Vec<u128>,
+}
+
+/// Parse the key parts of the cell encoded at `off`. Caller guarantees the
+/// encoding was validated by [`Block::decode`].
+fn parse_key_at(d: &[u8], off: usize) -> (&[u8], Timestamp, CellKind) {
+    let kind = CellKind::from_u8(d[off]).expect("validated at decode");
+    let off = off + 1;
+    let (ts, n) = get_varint(&d[off..]).expect("validated at decode");
+    let off = off + n;
+    let (key, _) = get_len_prefixed(&d[off..]).expect("validated at decode");
+    (key, ts, kind)
+}
+
+impl Block {
+    /// Validate and index a raw block read from disk (body + trailing CRC).
+    /// Consumes the buffer; the block shares it without further copies.
+    pub fn decode(buf: Vec<u8>) -> std::result::Result<Block, String> {
+        if buf.len() < 4 {
+            return Err("short block".into());
+        }
+        let body_len = buf.len() - 4;
+        let crc = get_u32(&buf, body_len).unwrap();
+        if crc32(&buf[..body_len]) != crc {
+            return Err("checksum mismatch".into());
+        }
+        let body = &buf[..body_len];
+        let mut offsets = Vec::new();
+        let mut prefixes = Vec::new();
+        let mut off = 0usize;
+        while off < body.len() {
+            offsets.push(off as u32);
+            CellKind::from_u8(body[off]).ok_or_else(|| "bad cell kind".to_string())?;
+            off += 1;
+            let (_, n) = get_varint(&body[off..]).ok_or_else(|| "short ts".to_string())?;
+            off += n;
+            let (key, n) =
+                get_len_prefixed(&body[off..]).ok_or_else(|| "short key".to_string())?;
+            prefixes.push(key_prefix(key));
+            off += n;
+            let (_, n) =
+                get_len_prefixed(&body[off..]).ok_or_else(|| "short value".to_string())?;
+            off += n;
+        }
+        Ok(Block { data: Bytes::from(buf).slice(..body_len), offsets, prefixes })
+    }
+
+    /// Build a block in memory from already-sorted cells (tests and cache
+    /// benchmarks; the storage path always goes through [`TableBuilder`]).
+    pub fn from_cells(cells: &[Cell]) -> Block {
+        let mut body = Vec::new();
+        for c in cells {
+            body.push(c.key.kind.to_u8());
+            put_varint(&mut body, c.key.ts);
+            put_len_prefixed(&mut body, &c.key.user_key);
+            put_len_prefixed(&mut body, &c.value);
+        }
+        let crc = crc32(&body);
+        put_u32(&mut body, crc);
+        Block::decode(body).expect("self-encoded block is valid")
+    }
+
+    /// Number of cells in the block.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if the block holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Approximate resident size, for cache accounting.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() + self.offsets.len() * (4 + 16) + 64
+    }
+
+    /// Borrowed key parts of cell `i`: `(user_key, ts, kind)`.
+    pub fn key_parts(&self, i: usize) -> (&[u8], Timestamp, CellKind) {
+        parse_key_at(self.data.as_ref(), self.offsets[i] as usize)
+    }
+
+    /// Materialize cell `i`. Key and value are zero-copy windows into the
+    /// block buffer.
+    pub fn cell(&self, i: usize) -> Cell {
+        let d = self.data.as_ref();
+        let mut off = self.offsets[i] as usize;
+        let kind = CellKind::from_u8(d[off]).expect("validated at decode");
+        off += 1;
+        let (ts, n) = get_varint(&d[off..]).expect("validated at decode");
+        off += n;
+        let (k, n) = get_len_prefixed(&d[off..]).expect("validated at decode");
+        let key_range = off + n - k.len()..off + n;
+        off += n;
+        let (v, n) = get_len_prefixed(&d[off..]).expect("validated at decode");
+        let val_range = off + n - v.len()..off + n;
+        Cell {
+            key: InternalKey {
+                user_key: self.data.slice(key_range),
+                ts,
+                kind,
+            },
+            value: self.data.slice(val_range),
+        }
+    }
+
+    /// Index of the first cell whose internal key is `>=` the target, or
+    /// `len()` if all cells are smaller.
+    ///
+    /// Strict prefix inequality implies the same strict user-key order
+    /// (zero-padded fixed-width compare), so the sequential prefix scan
+    /// resolves every cell except those tied with the target's prefix;
+    /// only the tie range is parsed for the full `(key, ts, kind)` compare.
+    pub fn seek(&self, user_key: &[u8], ts: Timestamp, kind: CellKind) -> usize {
+        let target = key_prefix(user_key);
+        let n = self.prefixes.len();
+        let mut lo = 0usize;
+        while lo < n && self.prefixes[lo] < target {
+            lo += 1;
+        }
+        let mut hi = lo;
+        while hi < n && self.prefixes[hi] == target {
+            hi += 1;
+        }
+        let d = self.data.as_ref();
+        lo + self.offsets[lo..hi].partition_point(|&o| {
+            let parts = parse_key_at(d, o as usize);
+            cmp_internal(parts, (user_key, ts, kind)) == Ordering::Less
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Reader
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
 struct IndexEntry {
+    /// First 16 bytes of `first.user_key`, zero-padded, as a big-endian
+    /// integer. Strict inequality of two prefixes implies the same strict
+    /// order of the full keys, so the index binary search only dereferences
+    /// the out-of-line `Bytes` key on prefix ties — most search steps stay
+    /// within this (cache-resident) struct.
+    prefix: u128,
     first: InternalKey,
     offset: u64,
     len: u32,
+}
+
+/// Zero-padded big-endian prefix of `key`; see [`IndexEntry::prefix`].
+fn key_prefix(key: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    let n = key.len().min(16);
+    buf[..n].copy_from_slice(&key[..n]);
+    u128::from_be_bytes(buf)
 }
 
 /// Random-access reader over a finished table. Cheap to clone via `Arc`.
@@ -245,8 +418,16 @@ pub struct Table {
     cache_ns: u64,
     index: Vec<IndexEntry>,
     bloom: Bloom,
+    /// Inline prefixes of `props.min_key` / `props.max_key`, so the
+    /// per-table range check on the read path usually resolves without
+    /// dereferencing either `Bytes`.
+    min_prefix: u128,
+    max_prefix: u128,
     props: TableProperties,
     cache: Option<Arc<BlockCache>>,
+    /// Engine metrics for block-cache hit/miss/eviction accounting; `None`
+    /// for tables opened outside an engine (tools, tests).
+    metrics: Option<Arc<Metrics>>,
 }
 
 /// Source of globally unique cache namespaces.
@@ -340,6 +521,7 @@ impl Table {
             let blen = get_u32(body, off).ok_or_else(|| corrupt("short index len".into()))?;
             off += 4;
             index.push(IndexEntry {
+                prefix: key_prefix(&ukey),
                 first: InternalKey { user_key: ukey, ts, kind },
                 offset: boff,
                 len: blen,
@@ -358,9 +540,20 @@ impl Table {
             cache_ns: NEXT_CACHE_NS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             index,
             bloom,
+            min_prefix: key_prefix(&min_key),
+            max_prefix: key_prefix(&max_key),
             props: TableProperties { cell_count, min_key, max_key, max_ts, file_size },
             cache,
+            metrics: None,
         })
+    }
+
+    /// Attach engine metrics so block-cache traffic from this table is
+    /// surfaced through [`Metrics`]. Builder-style; used by the engine when
+    /// it opens or creates tables.
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Table properties recorded at build time.
@@ -385,79 +578,95 @@ impl Table {
 
     /// True if `user_key` is outside this table's `[min, max]` key range.
     pub fn outside_key_range(&self, user_key: &[u8]) -> bool {
+        let p = key_prefix(user_key);
+        // Strict prefix inequality implies the same strict key order, so
+        // these bounds are conclusive; only prefix ties need the full keys.
+        if p < self.min_prefix || p > self.max_prefix {
+            return true;
+        }
         user_key < self.props.min_key.as_ref() || user_key > self.props.max_key.as_ref()
     }
 
-    fn read_block(&self, idx: usize) -> Result<Arc<Vec<Cell>>> {
+    fn read_block(&self, idx: usize) -> Result<Arc<Block>> {
         let entry = &self.index[idx];
         if let Some(cache) = &self.cache {
-            if let Some(cells) = cache.get(self.cache_ns, entry.offset) {
-                return Ok(cells);
+            if let Some(block) = cache.get(self.cache_ns, entry.offset) {
+                if let Some(m) = &self.metrics {
+                    Metrics::bump(&m.block_cache_hits);
+                }
+                return Ok(block);
+            }
+            if let Some(m) = &self.metrics {
+                Metrics::bump(&m.block_cache_misses);
             }
         }
         let mut buf = vec![0u8; entry.len as usize];
         self.file.read_exact_at(&mut buf, entry.offset)?;
-        let corrupt =
-            |m: &str| LsmError::Corruption(format!("{}: block: {m}", self.path.display()));
-        if buf.len() < 4 {
-            return Err(corrupt("short block"));
-        }
-        let body_len = buf.len() - 4;
-        let crc = get_u32(&buf, body_len).unwrap();
-        if crc32(&buf[..body_len]) != crc {
-            return Err(corrupt("checksum mismatch"));
-        }
-        let mut cells = Vec::new();
-        let mut off = 0usize;
-        let body = &buf[..body_len];
-        while off < body.len() {
-            let kind =
-                CellKind::from_u8(body[off]).ok_or_else(|| corrupt("bad cell kind"))?;
-            off += 1;
-            let (ts, n) = get_varint(&body[off..]).ok_or_else(|| corrupt("short ts"))?;
-            off += n;
-            let (ukey, n) =
-                get_len_prefixed(&body[off..]).ok_or_else(|| corrupt("short key"))?;
-            let ukey = Bytes::copy_from_slice(ukey);
-            off += n;
-            let (val, n) =
-                get_len_prefixed(&body[off..]).ok_or_else(|| corrupt("short value"))?;
-            let val = Bytes::copy_from_slice(val);
-            off += n;
-            cells.push(Cell {
-                key: InternalKey { user_key: ukey, ts, kind },
-                value: val,
-            });
-        }
-        let cells = Arc::new(cells);
+        let block = Block::decode(buf).map_err(|m| {
+            LsmError::Corruption(format!("{}: block: {m}", self.path.display()))
+        })?;
+        let block = Arc::new(block);
         if let Some(cache) = &self.cache {
-            cache.insert(self.cache_ns, entry.offset, Arc::clone(&cells));
+            let evicted = cache.insert(self.cache_ns, entry.offset, Arc::clone(&block));
+            if evicted > 0 {
+                if let Some(m) = &self.metrics {
+                    Metrics::add(&m.block_cache_evictions, evicted);
+                }
+            }
         }
-        Ok(cells)
+        Ok(block)
     }
 
-    /// Index of the block that could contain `target`, i.e. the last block
-    /// whose first key is `<= target` (or block 0).
-    fn block_for(&self, target: &InternalKey) -> usize {
-        // partition_point: number of blocks with first <= target.
-        let pp = self.index.partition_point(|e| e.first <= *target);
+    /// Index of the block that could contain the target key parts, i.e. the
+    /// last block whose first key is `<=` the target (or block 0).
+    fn block_for_parts(&self, user_key: &[u8], ts: Timestamp, kind: CellKind) -> usize {
+        let target_prefix = key_prefix(user_key);
+        // partition_point: number of blocks with first <= target. The
+        // inline prefix decides all but prefix-tied steps without touching
+        // the out-of-line key.
+        let pp = self.index.partition_point(|e| match e.prefix.cmp(&target_prefix) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => {
+                cmp_internal(
+                    (e.first.user_key.as_ref(), e.first.ts, e.first.kind),
+                    (user_key, ts, kind),
+                ) != Ordering::Greater
+            }
+        });
         pp.saturating_sub(1)
     }
 
+    fn block_for(&self, target: &InternalKey) -> usize {
+        self.block_for_parts(target.user_key.as_ref(), target.ts, target.kind)
+    }
+
     /// Latest cell for `user_key` visible at `ts`, tombstones included.
+    /// Allocation-free until a hit is materialized: the seek key is borrowed
+    /// and each candidate block is binary-searched in place.
     pub fn get_versioned(&self, user_key: &[u8], ts: Timestamp) -> Result<Option<Cell>> {
         if self.outside_key_range(user_key) || self.definitely_absent(user_key) {
             return Ok(None);
         }
-        let seek = InternalKey::seek_to(Bytes::copy_from_slice(user_key), ts);
-        let mut idx = self.block_for(&seek);
+        self.probe_versioned(user_key, ts)
+    }
+
+    /// Like [`Table::get_versioned`], but skips the key-range and bloom
+    /// pre-filters. For callers (the engine) that have already consulted
+    /// them — the bloom probe costs several cache misses, so paying it twice
+    /// per read is measurable on the warm hot path.
+    pub fn probe_versioned(&self, user_key: &[u8], ts: Timestamp) -> Result<Option<Cell>> {
+        // Seek kind Delete: sorts first at equal (key, ts), covering both
+        // kinds — same convention as `InternalKey::seek_to`.
+        let mut idx = self.block_for_parts(user_key, ts, CellKind::Delete);
         // The first cell >= seek may be at the start of the following block.
         loop {
-            let cells = self.read_block(idx)?;
-            if let Some(pos) = cells.iter().position(|c| c.key >= seek) {
-                let c = &cells[pos];
-                if c.key.user_key.as_ref() == user_key {
-                    return Ok(Some(c.clone()));
+            let block = self.read_block(idx)?;
+            let pos = block.seek(user_key, ts, CellKind::Delete);
+            if pos < block.len() {
+                let (k, _, _) = block.key_parts(pos);
+                if k == user_key {
+                    return Ok(Some(block.cell(pos)));
                 }
                 return Ok(None);
             }
@@ -478,7 +687,7 @@ impl Table {
         let mut it = TableIter {
             table: self,
             block,
-            cells: None,
+            data: None,
             pos,
             error: None,
         };
@@ -494,24 +703,25 @@ impl Table {
     }
 }
 
-/// Forward iterator over a table's cells in internal-key order.
+/// Forward iterator over a table's cells in internal-key order. Holds one
+/// decoded [`Block`] at a time; yielded cells are zero-copy slices of it.
 pub struct TableIter<'a> {
     table: &'a Table,
     block: usize,
-    cells: Option<Arc<Vec<Cell>>>,
+    data: Option<Arc<Block>>,
     pos: usize,
     error: Option<LsmError>,
 }
 
 impl<'a> TableIter<'a> {
     fn load_block(&mut self) -> bool {
-        while self.cells.is_none() {
+        while self.data.is_none() {
             if self.block >= self.table.index.len() {
                 return false;
             }
             match self.table.read_block(self.block) {
-                Ok(c) => {
-                    self.cells = Some(c);
+                Ok(b) => {
+                    self.data = Some(b);
                     self.pos = 0;
                 }
                 Err(e) => {
@@ -528,12 +738,13 @@ impl<'a> TableIter<'a> {
             if !self.load_block() {
                 return;
             }
-            let cells = self.cells.as_ref().unwrap();
-            if let Some(pos) = cells.iter().position(|c| c.key >= *seek) {
+            let block = self.data.as_ref().unwrap();
+            let pos = block.seek(seek.user_key.as_ref(), seek.ts, seek.kind);
+            if pos < block.len() {
                 self.pos = pos;
                 return;
             }
-            self.cells = None;
+            self.data = None;
             self.block += 1;
         }
     }
@@ -552,13 +763,13 @@ impl<'a> Iterator for TableIter<'a> {
             if !self.load_block() {
                 return None;
             }
-            let cells = self.cells.as_ref().unwrap();
-            if self.pos < cells.len() {
-                let c = cells[self.pos].clone();
+            let block = self.data.as_ref().unwrap();
+            if self.pos < block.len() {
+                let c = block.cell(self.pos);
                 self.pos += 1;
                 return Some(c);
             }
-            self.cells = None;
+            self.data = None;
             self.block += 1;
         }
     }
@@ -731,6 +942,81 @@ mod tests {
         let path = dir.path().join("t.sst");
         std::fs::write(&path, b"tiny").unwrap();
         assert!(matches!(Table::open(&path, 1, None), Err(LsmError::Corruption(_))));
+    }
+
+    #[test]
+    fn block_roundtrip_and_binary_search() {
+        let cells = vec![
+            Cell::put("a", 9, "a9"),
+            Cell::put("a", 2, "a2"),
+            Cell::delete("b", 5),
+            Cell::put("b", 5, "b5"),
+            Cell::put("c", 1, "c1"),
+        ];
+        let block = Block::from_cells(&cells);
+        assert_eq!(block.len(), 5);
+        assert!(!block.is_empty());
+        for (i, want) in cells.iter().enumerate() {
+            assert_eq!(&block.cell(i), want, "cell {i}");
+            let (k, ts, kind) = block.key_parts(i);
+            assert_eq!(k, want.key.user_key.as_ref());
+            assert_eq!(ts, want.key.ts);
+            assert_eq!(kind, want.key.kind);
+        }
+        // seek returns the first cell >= the target in internal-key order.
+        assert_eq!(block.seek(b"a", u64::MAX, CellKind::Delete), 0);
+        assert_eq!(block.seek(b"a", 5, CellKind::Delete), 1, "a@5 -> a@2");
+        assert_eq!(block.seek(b"b", 5, CellKind::Delete), 2, "tombstone first");
+        assert_eq!(block.seek(b"b", 5, CellKind::Put), 3);
+        assert_eq!(block.seek(b"c", 0, CellKind::Delete), 5, "past the end");
+        assert_eq!(block.seek(b"zz", u64::MAX, CellKind::Delete), 5);
+    }
+
+    #[test]
+    fn block_seek_agrees_with_linear_scan() {
+        let cells = many_cells(300);
+        let block = Block::from_cells(&cells);
+        for probe in ["key000000", "key000137", "key000299", "key000300", "aaa"] {
+            let want = cells
+                .iter()
+                .position(|c| c.key >= InternalKey::seek_to(Bytes::from(probe), u64::MAX))
+                .unwrap_or(cells.len());
+            assert_eq!(
+                block.seek(probe.as_bytes(), u64::MAX, CellKind::Delete),
+                want,
+                "probe {probe}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_decode_rejects_garbage() {
+        assert!(Block::decode(vec![1, 2]).is_err(), "shorter than crc");
+        let mut body = vec![9u8; 10]; // 9 is not a valid cell kind
+        let crc = crate::util::crc32(&body);
+        put_u32(&mut body, crc);
+        assert!(Block::decode(body).is_err());
+    }
+
+    #[test]
+    fn table_get_with_metrics_counts_cache_traffic() {
+        let dir = TempDir::new("sst").unwrap();
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, TableOptions::default()).unwrap();
+        for c in many_cells(100) {
+            b.add(&c).unwrap();
+        }
+        b.finish().unwrap();
+        let cache = Arc::new(BlockCache::new(1 << 20));
+        let metrics = Arc::new(Metrics::new());
+        let t = Table::open(&path, 7, Some(Arc::clone(&cache)))
+            .unwrap()
+            .with_metrics(Arc::clone(&metrics));
+        t.get_versioned(b"key000010", u64::MAX).unwrap().unwrap();
+        t.get_versioned(b"key000010", u64::MAX).unwrap().unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.block_cache_misses, 1);
+        assert!(s.block_cache_hits >= 1);
     }
 
     #[test]

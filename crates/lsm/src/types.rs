@@ -80,11 +80,26 @@ impl InternalKey {
 
 impl Ord for InternalKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.user_key
-            .cmp(&other.user_key)
-            .then_with(|| other.ts.cmp(&self.ts)) // newer first
-            .then_with(|| self.kind.cmp(&other.kind).reverse()) // Delete first
+        cmp_internal(
+            (self.user_key.as_ref(), self.ts, self.kind),
+            (other.user_key.as_ref(), other.ts, other.kind),
+        )
     }
+}
+
+/// Internal-key ordering over borrowed parts: user key ascending, timestamp
+/// descending (newest first), `Delete` before `Put` at equal timestamps.
+///
+/// This is the single source of truth for internal-key order; `InternalKey`'s
+/// `Ord` delegates here, and the zero-copy block reader uses it to binary
+/// search encoded cells without materializing owned keys.
+pub fn cmp_internal(
+    a: (&[u8], Timestamp, CellKind),
+    b: (&[u8], Timestamp, CellKind),
+) -> Ordering {
+    a.0.cmp(b.0)
+        .then_with(|| b.1.cmp(&a.1)) // newer first
+        .then_with(|| a.2.cmp(&b.2).reverse()) // Delete first
 }
 
 impl PartialOrd for InternalKey {
@@ -214,6 +229,30 @@ mod tests {
     }
 
     #[test]
+    fn cmp_internal_agrees_with_internal_key_ord() {
+        let keys = [
+            InternalKey::new("a", 5, CellKind::Put),
+            InternalKey::new("a", 9, CellKind::Put),
+            InternalKey::new("a", 9, CellKind::Delete),
+            InternalKey::new("b", 1, CellKind::Put),
+            InternalKey::new("b", 1, CellKind::Delete),
+            InternalKey::new("ba", 7, CellKind::Put),
+        ];
+        for x in &keys {
+            for y in &keys {
+                assert_eq!(
+                    x.cmp(y),
+                    cmp_internal(
+                        (x.user_key.as_ref(), x.ts, x.kind),
+                        (y.user_key.as_ref(), y.ts, y.kind)
+                    ),
+                    "{x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn cell_kind_roundtrip() {
         for k in [CellKind::Put, CellKind::Delete] {
             assert_eq!(CellKind::from_u8(k.to_u8()), Some(k));
@@ -234,7 +273,7 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let e = LsmError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = LsmError::from(std::io::Error::other("boom"));
         assert!(e.to_string().contains("boom"));
         assert!(std::error::Error::source(&e).is_some());
         let c = LsmError::Corruption("bad magic".into());

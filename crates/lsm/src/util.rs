@@ -109,6 +109,58 @@ pub fn get_u64(buf: &[u8], off: usize) -> Option<u64> {
     buf.get(off..off + 8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
 }
 
+/// Fast non-cryptographic hasher (the multiply-rotate scheme rustc uses for
+/// its interner maps). The default `SipHash` costs more than the bucket
+/// probe it guards on short keys; memtable point lookups are hot enough for
+/// that to show up, and none of our hash maps are exposed to untrusted
+/// key-flooding.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+/// `BuildHasher` producing [`FxHasher`]; plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = std::hash::BuildHasherDefault<FxHasher>;
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            self.add(u64::from_le_bytes(bytes[..8].try_into().unwrap()));
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            self.add(u64::from_le_bytes(tail) | ((bytes.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,6 +226,21 @@ mod tests {
         let mut buf = Vec::new();
         put_len_prefixed(&mut buf, b"abcdef");
         assert!(get_len_prefixed(&buf[..3]).is_none());
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        use std::hash::{Hash, Hasher};
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            b.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(h(b"user00000001"), h(b"user00000001"));
+        assert_ne!(h(b"user00000001"), h(b"user00000002"));
+        assert_ne!(h(b""), h(b"\0"));
+        // Different lengths of zero bytes must not collide.
+        assert_ne!(h(b"\0\0"), h(b"\0\0\0"));
     }
 
     #[test]

@@ -77,7 +77,7 @@ proptest! {
                     let v = Bytes::from(format!("v{value}"));
                     db.put(k.clone(), ts, v.clone()).unwrap();
                     model.entry(k).or_default().insert(ts, Some(v));
-                    if ts % 7 == 0 {
+                    if ts.is_multiple_of(7) {
                         snapshots.push(ts);
                     }
                 }

@@ -145,7 +145,7 @@ mod tests {
     #[test]
     fn uniform_covers_range() {
         let mut u = Uniform::new(100, 7);
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for _ in 0..10_000 {
             let k = u.next_key();
             assert!(k < 100);

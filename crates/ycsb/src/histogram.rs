@@ -5,7 +5,6 @@
 /// Histogram over `u64` values (microseconds by convention) with bounded
 /// relative error: each power of two is split into 16 linear sub-buckets
 /// (≈ 6% worst-case error), which is plenty for latency curves.
-
 const SUB_BUCKETS: usize = 16;
 const BUCKETS: usize = 64 * SUB_BUCKETS;
 

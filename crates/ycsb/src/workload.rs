@@ -148,7 +148,7 @@ mod tests {
             assert_eq!(p.len(), 10);
         }
         // Byte order == numeric order thanks to the padding.
-        assert!(Bytes::from("0000000002") < Bytes::from("0000000010"));
+        assert!(b"0000000002".as_slice() < b"0000000010".as_slice());
     }
 
     #[test]
