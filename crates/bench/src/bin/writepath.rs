@@ -1,0 +1,260 @@
+//! Write-path harness: single-put latency/throughput, batched multi-row
+//! ingest, and N-thread indexed-put throughput for every synchronous and
+//! asynchronous index scheme, all with a durable WAL (`wal_sync = true`) so
+//! the numbers reflect what group commit actually buys. Emits
+//! machine-readable results to `BENCH_writepath.json` (override with the
+//! first CLI argument) alongside a human summary.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p diff-index-bench --bin writepath [out.json]
+//! ```
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+use diff_index_lsm::{LsmOptions, TableOptions};
+use diff_index_ycsb::{DriverConfig, ItemWorkload, OpMix, Target};
+use std::time::Instant;
+use tempdir_lite::TempDir;
+
+/// Rows inserted by the batched-ingest workload.
+const BATCH_ROWS: u64 = 4096;
+/// Logical client batch size for the batched-ingest workload.
+const BATCH_SIZE: usize = 64;
+/// Puts issued by the single-put workload.
+const SINGLE_OPS: u64 = 600;
+/// Writer threads in the indexed-put workloads.
+const THREADS: usize = 8;
+/// Puts per writer thread in the indexed-put workloads.
+const OPS_PER_THREAD: u64 = 150;
+/// Distinct indexed values (small, so updates replace old index entries).
+const TITLE_CARDINALITY: u64 = 64;
+
+fn durable_lsm() -> LsmOptions {
+    LsmOptions {
+        wal_sync: true,
+        memtable_flush_bytes: 32 * 1024 * 1024, // stay out of flush territory
+        table: TableOptions::default(),
+        auto_compact: false,
+        compaction_trigger: 0,
+        ..LsmOptions::default()
+    }
+}
+
+fn new_cluster(dir: &TempDir) -> Cluster {
+    Cluster::new(dir.path(), ClusterOptions { num_servers: 1, lsm: durable_lsm() })
+        .expect("cluster")
+}
+
+fn row_key(id: u64) -> Bytes {
+    Bytes::from(format!("row{id:06}"))
+}
+
+fn title(id: u64, ver: u64) -> Bytes {
+    Bytes::from(format!("title{:04}", (id ^ ver.wrapping_mul(31)) % TITLE_CARDINALITY))
+}
+
+fn filler(id: u64, ver: u64) -> Bytes {
+    Bytes::from(format!("value-{ver:08}-{id:08}-{:060}", 0))
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    ops: u64,
+    elapsed_us: u64,
+}
+
+impl WorkloadResult {
+    fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.elapsed_us as f64 / 1e6)
+    }
+}
+
+/// One row at a time, one client, durable WAL: the floor every other
+/// workload is measured against.
+fn single_put() -> WorkloadResult {
+    let dir = TempDir::new("writepath-single").expect("tempdir");
+    let cluster = new_cluster(&dir);
+    cluster.create_table("t", 4).expect("table");
+    let t0 = Instant::now();
+    for i in 0..SINGLE_OPS {
+        cluster
+            .put("t", &row_key(i), &[(Bytes::from_static(b"c"), filler(i, 0))])
+            .expect("put");
+    }
+    WorkloadResult { name: "single_put", ops: SINGLE_OPS, elapsed_us: t0.elapsed().as_micros() as u64 }
+}
+
+/// Bulk ingest of `BATCH_ROWS` rows in client batches of `BATCH_SIZE`,
+/// unindexed. Uses the widest batch API the cluster offers.
+fn batched_put() -> WorkloadResult {
+    let dir = TempDir::new("writepath-batch").expect("tempdir");
+    let cluster = new_cluster(&dir);
+    cluster.create_table("t", 4).expect("table");
+    let t0 = Instant::now();
+    for chunk_start in (0..BATCH_ROWS).step_by(BATCH_SIZE) {
+        let rows: Vec<(Bytes, Vec<(Bytes, Bytes)>)> = (chunk_start
+            ..(chunk_start + BATCH_SIZE as u64).min(BATCH_ROWS))
+            .map(|i| (row_key(i), vec![(Bytes::from_static(b"c"), filler(i, 0))]))
+            .collect();
+        cluster.put_batch("t", &rows).expect("put_batch");
+    }
+    WorkloadResult { name: "batched_put", ops: BATCH_ROWS, elapsed_us: t0.elapsed().as_micros() as u64 }
+}
+
+/// `THREADS` concurrent clients updating indexed rows under `scheme`:
+/// every put rewrites the indexed column, so sync schemes pay SU2 (and
+/// SU3/SU4 for sync-full) inline. Rows are pre-seeded and the index
+/// quiesced before the clock starts.
+fn indexed_put(scheme: IndexScheme, name: &'static str) -> WorkloadResult {
+    let dir = TempDir::new("writepath-indexed").expect("tempdir");
+    let cluster = new_cluster(&dir);
+    cluster.create_table("item", 4).expect("table");
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(IndexSpec::single("title", "item", "item_title", scheme), 4)
+        .expect("index");
+
+    let key_space = THREADS as u64 * OPS_PER_THREAD;
+    for i in 0..key_space {
+        cluster
+            .put(
+                "item",
+                &row_key(i),
+                &[
+                    (Bytes::from_static(b"item_title"), title(i, 0)),
+                    (Bytes::from_static(b"field0"), filler(i, 0)),
+                ],
+            )
+            .expect("seed put");
+    }
+    di.quiesce("item");
+
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let cluster = cluster.clone();
+            scope.spawn(move || {
+                for n in 0..OPS_PER_THREAD {
+                    let id = (t as u64 * OPS_PER_THREAD + n * 7) % key_space;
+                    cluster
+                        .put(
+                            "item",
+                            &row_key(id),
+                            &[
+                                (Bytes::from_static(b"item_title"), title(id, n + 1)),
+                                (Bytes::from_static(b"field0"), filler(id, n + 1)),
+                            ],
+                        )
+                        .expect("indexed put");
+                }
+            });
+        }
+    });
+    let elapsed_us = t0.elapsed().as_micros() as u64;
+    // Drain deferred work outside the timed window so the process exits
+    // cleanly; async throughput here is *client-ack* throughput, as in §8.2.
+    di.quiesce("item");
+    WorkloadResult { name, ops: THREADS as u64 * OPS_PER_THREAD, elapsed_us }
+}
+
+/// The real Diff-Index stack as a YCSB target; batched updates go through
+/// [`Cluster::put_batch`].
+struct YcsbTarget {
+    di: DiffIndex,
+}
+
+impl Target for YcsbTarget {
+    fn update(&self, row: &Bytes, columns: &[(Bytes, Bytes)]) {
+        self.di.cluster().put("item", row, columns).expect("put");
+    }
+    fn update_batch(&self, rows: &[(Bytes, Vec<(Bytes, Bytes)>)]) {
+        self.di.cluster().put_batch("item", rows).expect("put_batch");
+    }
+    fn read_index(&self, title: &Bytes) -> usize {
+        self.di.get_by_index("item", "title", title, 1000).expect("index read").len()
+    }
+}
+
+/// YCSB Workload A (50/50 update/read, zipfian) on a sync-full index with
+/// the given client batch size — the before/after of the batched-put API.
+fn ycsb_a(batch_size: usize, name: &'static str) -> WorkloadResult {
+    let dir = TempDir::new("writepath-ycsb").expect("tempdir");
+    let cluster = new_cluster(&dir);
+    cluster.create_table("item", 4).expect("table");
+    let di = DiffIndex::new(cluster.clone());
+    di.create_index(
+        IndexSpec::single("title", "item", "item_title", IndexScheme::SyncFull),
+        4,
+    )
+    .expect("index");
+    let wl = ItemWorkload::new(TITLE_CARDINALITY, 1_000_000, 7);
+    let key_space = 400u64;
+    for i in 0..key_space {
+        cluster.put("item", &wl.row_key(i), &wl.row(i)).expect("seed put");
+    }
+    di.quiesce("item");
+    let target = YcsbTarget { di };
+    let cfg = DriverConfig {
+        threads: THREADS,
+        ops_per_thread: OPS_PER_THREAD as usize,
+        mix: OpMix { update_fraction: 0.5 },
+        key_space,
+        zipfian: true,
+        seed: 11,
+        batch_size,
+    };
+    let report = diff_index_ycsb::run(&target, &wl, &cfg);
+    target.di.quiesce("item");
+    WorkloadResult { name, ops: report.ops, elapsed_us: report.elapsed_us }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_writepath.json".to_string());
+
+    let results = [
+        single_put(),
+        batched_put(),
+        indexed_put(IndexScheme::SyncFull, "indexed_put_8t_sync_full"),
+        indexed_put(IndexScheme::SyncInsert, "indexed_put_8t_sync_insert"),
+        indexed_put(IndexScheme::AsyncSimple, "indexed_put_8t_async_simple"),
+        ycsb_a(1, "ycsb_a_sync_full_batch1"),
+        ycsb_a(16, "ycsb_a_sync_full_batch16"),
+    ];
+
+    println!(
+        "writepath: wal_sync=true, batch={BATCH_SIZE}, {THREADS} threads x {OPS_PER_THREAD} indexed puts"
+    );
+    for r in &results {
+        println!(
+            "  {:<28} {:>8} ops in {:>9} us  ({:>10.1} puts/s)",
+            r.name,
+            r.ops,
+            r.elapsed_us,
+            r.ops_per_sec()
+        );
+    }
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\":\"{}\",\"ops\":{},\"elapsed_us\":{},\"ops_per_sec\":{:.1}}}",
+                r.name,
+                r.ops,
+                r.elapsed_us,
+                r.ops_per_sec()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"wal_sync\": true, \"batch_rows\": {BATCH_ROWS}, \"batch_size\": {BATCH_SIZE}, \"threads\": {THREADS}, \"ops_per_thread\": {OPS_PER_THREAD}, \"title_cardinality\": {TITLE_CARDINALITY}}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write json");
+    println!("wrote {out_path}");
+}

@@ -12,6 +12,7 @@ use crate::clock::TimestampOracle;
 use crate::coproc::{ColumnValue, ReplayedOp, TableObserver};
 use crate::encoding::{cell_key, decode_cell_key, escape_no_term, prefix_end, row_end, row_start};
 use crate::error::{ClusterError, Result};
+use crate::fanout::FanoutPool;
 use crate::keyspace::{PartitionMap, RegionId, RegionSpec, ServerId};
 use bytes::Bytes;
 use diff_index_lsm::{Cell, CellKind, LsmOptions, LsmTree, MetricsSnapshot, VersionedValue};
@@ -43,13 +44,19 @@ impl Default for ClusterOptions {
 struct Region {
     spec: RegionSpec,
     engine: Arc<LsmTree>,
-    /// Serializes timestamp assignment + WAL/memtable apply for client
+    /// Serializes timestamp assignment + WAL/memtable *staging* for client
     /// writes, so visibility order equals timestamp order within a region —
     /// HBase provides the same guarantee via row locks + per-region MVCC
     /// (§4.3 "writes are sequenced in a region"). Without it, two
     /// concurrent same-row puts can apply out of timestamp order, and a
     /// coprocessor's `RB(k, tnew−δ)` could miss the older write entirely,
     /// leaking a stale index entry.
+    ///
+    /// The lock covers only the in-memory stage (`LsmTree::stage_batch`);
+    /// the WAL-fsync wait (`LsmTree::complete`) runs *outside* it, so
+    /// concurrent writers to one region share group commits instead of
+    /// serializing on the disk, and writers to different regions never
+    /// interact at all.
     write_lock: parking_lot::Mutex<()>,
 }
 
@@ -74,6 +81,10 @@ struct Inner {
     rpcs: AtomicU64,
     /// Observer registration tokens.
     next_observer_id: AtomicU64,
+    /// Shared pool for parallel fan-out: observer dispatch across index
+    /// specs, per-region stages of batched puts, and the SU2 ∥ SU3/SU4
+    /// split inside sync index maintenance.
+    fanout: FanoutPool,
 }
 
 /// Handle to the cluster; cheap to clone, shared with coprocessors.
@@ -143,8 +154,15 @@ impl Cluster {
                 tables: RwLock::new(HashMap::new()),
                 rpcs: AtomicU64::new(0),
                 next_observer_id: AtomicU64::new(1),
+                fanout: FanoutPool::new_default(),
             }),
         })
+    }
+
+    /// The cluster's shared fan-out pool. Coprocessors use it to run
+    /// independent index sub-operations in parallel.
+    pub fn fanout(&self) -> &FanoutPool {
+        &self.inner.fanout
     }
 
     /// A non-owning handle to this cluster.
@@ -322,23 +340,113 @@ impl Cluster {
     /// Client put: write `columns` to `row` with a server-assigned
     /// timestamp, then run table observers (index maintenance). Returns the
     /// assigned timestamp.
+    ///
+    /// The region lock is held only while the write is *staged* (timestamp
+    /// assignment + WAL buffer + memtable); the group-commit durability
+    /// wait happens after release, so concurrent puts to one region share
+    /// fsyncs.
     pub fn put(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<u64> {
         let (region, clock) = self.route(table, &row_start(row))?;
-        let ts = {
+        let (ts, staged) = {
             let _w = region.write_lock.lock();
             let ts = clock.next();
             let cells: Vec<Cell> = columns
                 .iter()
                 .map(|(col, val)| Cell::put(cell_key(row, col), ts, val.clone()))
                 .collect();
-            region.engine.write_batch(&cells)?;
-            ts
+            (ts, region.engine.stage_batch(&cells)?)
         };
-        drop(region);
-        for obs in self.observers_of(table) {
-            obs.post_put(self, table, row, columns, ts)?;
+        if let Some(handle) = staged {
+            region.engine.complete(handle)?;
         }
+        drop(region);
+        self.notify_put(table, row, columns, ts)?;
         Ok(ts)
+    }
+
+    /// Batched client put: rows are grouped by region, each region group is
+    /// staged under **one** region-lock acquisition as **one** WAL record
+    /// (with consecutive timestamps, preserving §4.3's apply-order =
+    /// timestamp-order invariant), and region groups proceed in parallel on
+    /// the fan-out pool. Observer dispatch (index maintenance) then fans
+    /// out across rows. Returns the per-row timestamps, in input order.
+    pub fn put_batch(&self, table: &str, rows: &[(Bytes, Vec<ColumnValue>)]) -> Result<Vec<u64>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Route every row and group by region.
+        type Group = (Arc<Region>, Arc<TimestampOracle>, Vec<usize>);
+        let mut groups: BTreeMap<RegionId, Group> = BTreeMap::new();
+        for (i, (row, _)) in rows.iter().enumerate() {
+            let (region, clock) = self.route(table, &row_start(row))?;
+            groups
+                .entry(region.spec.id)
+                .or_insert_with(|| (region, clock, Vec::new()))
+                .2
+                .push(i);
+        }
+        // Stage each group: one lock acquisition, one WAL record, one
+        // memtable apply per region — then one shared durability wait.
+        let tasks: Vec<_> = groups
+            .into_values()
+            .map(|(region, clock, idxs)| {
+                let group_rows: Vec<(Bytes, Vec<ColumnValue>)> =
+                    idxs.iter().map(|&i| rows[i].clone()).collect();
+                move || -> Result<(Vec<usize>, Vec<u64>)> {
+                    let (tss, staged) = {
+                        let _w = region.write_lock.lock();
+                        let mut cells = Vec::new();
+                        let mut tss = Vec::with_capacity(group_rows.len());
+                        for (row, columns) in &group_rows {
+                            let ts = clock.next();
+                            tss.push(ts);
+                            for (col, val) in columns {
+                                cells.push(Cell::put(cell_key(row, col), ts, val.clone()));
+                            }
+                        }
+                        (tss, region.engine.stage_batch(&cells)?)
+                    };
+                    if let Some(handle) = staged {
+                        region.engine.complete(handle)?;
+                    }
+                    Ok((idxs, tss))
+                }
+            })
+            .collect();
+        let mut ts_out = vec![0u64; rows.len()];
+        for staged in self.inner.fanout.run(tasks) {
+            let (idxs, tss) = staged?;
+            for (i, ts) in idxs.into_iter().zip(tss) {
+                ts_out[i] = ts;
+            }
+        }
+        // Index maintenance, fanned out across rows (each row's observers
+        // fan out again across specs inside `notify_put`).
+        let observers = self.observers_of(table);
+        if !observers.is_empty() {
+            let jobs: Vec<_> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, (row, columns))| {
+                    let cluster = self.clone();
+                    let table = table.to_string();
+                    let row = row.clone();
+                    let columns = columns.clone();
+                    let observers = observers.clone();
+                    let ts = ts_out[i];
+                    move || -> Result<()> {
+                        for obs in &observers {
+                            obs.post_put(&cluster, &table, &row, &columns, ts)?;
+                        }
+                        Ok(())
+                    }
+                })
+                .collect();
+            for r in self.inner.fanout.run(jobs) {
+                r?;
+            }
+        }
+        Ok(ts_out)
     }
 
     /// Like [`Cluster::put`] but also reads, *before* writing, the values the
@@ -350,7 +458,7 @@ impl Cluster {
         columns: &[ColumnValue],
     ) -> Result<PutOutcome> {
         let (region, clock) = self.route(table, &row_start(row))?;
-        let (ts, old_values) = {
+        let (ts, old_values, staged) = {
             let _w = region.write_lock.lock();
             let mut old_values = Vec::with_capacity(columns.len());
             for (col, _) in columns {
@@ -362,13 +470,14 @@ impl Cluster {
                 .iter()
                 .map(|(col, val)| Cell::put(cell_key(row, col), ts, val.clone()))
                 .collect();
-            region.engine.write_batch(&cells)?;
-            (ts, old_values)
+            let staged = region.engine.stage_batch(&cells)?;
+            (ts, old_values, staged)
         };
-        drop(region);
-        for obs in self.observers_of(table) {
-            obs.post_put(self, table, row, columns, ts)?;
+        if let Some(handle) = staged {
+            region.engine.complete(handle)?;
         }
+        drop(region);
+        self.notify_put(table, row, columns, ts)?;
         Ok(PutOutcome { ts, old_values })
     }
 
@@ -376,19 +485,63 @@ impl Cluster {
     /// timestamp), then observer dispatch.
     pub fn delete(&self, table: &str, row: &[u8], columns: &[Bytes]) -> Result<u64> {
         let (region, clock) = self.route(table, &row_start(row))?;
-        let ts = {
+        let (ts, staged) = {
             let _w = region.write_lock.lock();
             let ts = clock.next();
             let cells: Vec<Cell> =
                 columns.iter().map(|col| Cell::delete(cell_key(row, col), ts)).collect();
-            region.engine.write_batch(&cells)?;
-            ts
+            (ts, region.engine.stage_batch(&cells)?)
         };
-        drop(region);
-        for obs in self.observers_of(table) {
-            obs.post_delete(self, table, row, columns, ts)?;
+        if let Some(handle) = staged {
+            region.engine.complete(handle)?;
         }
+        drop(region);
+        let columns_owned = columns.to_vec();
+        let row_owned = Bytes::copy_from_slice(row);
+        self.notify_observers(table, move |obs, cluster, table| {
+            obs.post_delete(cluster, table, &row_owned, &columns_owned, ts)
+        })?;
         Ok(ts)
+    }
+
+    /// Dispatch `post_put` to every observer of `table`. One shared helper
+    /// replaces the loops formerly copy-pasted into `put`, `put_returning`
+    /// and `delete`.
+    fn notify_put(&self, table: &str, row: &[u8], columns: &[ColumnValue], ts: u64) -> Result<()> {
+        let row = Bytes::copy_from_slice(row);
+        let columns = columns.to_vec();
+        self.notify_observers(table, move |obs, cluster, table| {
+            obs.post_put(cluster, table, &row, &columns, ts)
+        })
+    }
+
+    /// Run one observer callback per observer of `table`. Multiple
+    /// observers — one per index spec — run **in parallel** on the fan-out
+    /// pool, since their index tables are independent; the first error (in
+    /// observer-registration order) wins.
+    fn notify_observers<F>(&self, table: &str, callback: F) -> Result<()>
+    where
+        F: Fn(&dyn TableObserver, &Cluster, &str) -> Result<()> + Send + Sync + 'static,
+    {
+        let observers = self.observers_of(table);
+        match observers.len() {
+            0 => Ok(()),
+            1 => callback(observers[0].as_ref(), self, table),
+            _ => {
+                let callback = Arc::new(callback);
+                let tasks: Vec<_> = observers
+                    .into_iter()
+                    .map(|obs| {
+                        let callback = Arc::clone(&callback);
+                        let cluster = self.clone();
+                        let table = table.to_string();
+                        move || callback(obs.as_ref(), &cluster, &table)
+                    })
+                    .collect();
+                let results = self.inner.fanout.run(tasks);
+                results.into_iter().find(|r| r.is_err()).unwrap_or(Ok(()))
+            }
+        }
     }
 
     /// Internal put with an explicit timestamp and NO observer dispatch.

@@ -1,0 +1,277 @@
+//! A small shared fan-out pool for parallelizing independent region
+//! operations: observer dispatch across index specs, SU2 ∥ SU3/SU4 inside a
+//! sync index update, and per-region stages of batched puts.
+//!
+//! Why not one thread per task: an indexed put fans out 2–4 sub-operations
+//! that each take tens to hundreds of microseconds, so a ~25 µs thread
+//! spawn per sub-operation would eat the winnings. The pool keeps a fixed
+//! set of workers and a submission queue instead.
+//!
+//! Deadlock freedom: tasks may themselves fan out (a batched put fans out
+//! per region; each region's observers fan out per spec; each sync update
+//! fans out SU2 vs SU3/SU4). With a bounded pool that nesting can exhaust
+//! every worker, so a blocked [`FanoutPool::run`] caller does not just
+//! park — it **helps**, repeatedly stealing queued tasks (from any batch)
+//! and running them inline until its own batch completes. Progress is
+//! therefore guaranteed even with zero workers.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signals workers that the queue is non-empty (or shutting down).
+    work_cv: Condvar,
+    shutdown: Mutex<bool>,
+}
+
+/// Fixed-size helper pool; cheap to clone, shuts down when the last clone
+/// drops.
+pub struct FanoutPool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FanoutPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FanoutPool").field("workers", &self.workers.len()).finish()
+    }
+}
+
+/// Per-batch completion state: results slots plus a done-count the caller
+/// can wait on.
+struct Batch<T> {
+    results: Mutex<Vec<Option<T>>>,
+    done: AtomicUsize,
+    done_mutex: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl FanoutPool {
+    /// Pool sized for the host (between 2 and 8 workers).
+    pub fn new_default() -> Self {
+        let n = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        Self::new(n.clamp(2, 8))
+    }
+
+    /// Pool with exactly `workers` background threads (0 is legal: every
+    /// task then runs on the threads that call [`FanoutPool::run`]).
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            shutdown: Mutex::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fanout-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn fanout worker")
+            })
+            .collect();
+        Self { shared, workers: handles }
+    }
+
+    /// Run every task, in parallel where workers are free, and return their
+    /// results in task order. The calling thread always executes at least
+    /// one task itself and steals queued work while waiting, so this never
+    /// deadlocks on pool capacity.
+    pub fn run<T, F>(&self, tasks: Vec<F>) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let n = tasks.len();
+        match n {
+            0 => return Vec::new(),
+            1 => {
+                let task = tasks.into_iter().next().expect("one task");
+                return vec![task()];
+            }
+            _ => {}
+        }
+        let batch = Arc::new(Batch::<T> {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            done: AtomicUsize::new(0),
+            done_mutex: Mutex::new(()),
+            done_cv: Condvar::new(),
+        });
+
+        let mut tasks = tasks.into_iter().enumerate();
+        // Keep the first task for this thread; queue the rest.
+        let (first_idx, first_task) = tasks.next().expect("n >= 2");
+        {
+            let mut queue = self.shared.queue.lock();
+            for (i, task) in tasks {
+                let batch = Arc::clone(&batch);
+                queue.push_back(Box::new(move || {
+                    // A panicking task must still count as done, or the
+                    // caller would wait forever; the missing result panics
+                    // on the *caller's* thread instead when collected.
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)) {
+                        Ok(v) => batch.complete(i, v),
+                        Err(_) => batch.abandon(),
+                    }
+                }));
+            }
+        }
+        self.shared.work_cv.notify_all();
+        batch.complete(first_idx, first_task());
+
+        // Help until the batch is done: steal any queued job (ours or a
+        // nested batch's — running either makes global progress), parking
+        // only briefly when the queue is empty.
+        while batch.done.load(Ordering::Acquire) < n {
+            let stolen = self.shared.queue.lock().pop_front();
+            match stolen {
+                Some(job) => job(),
+                None => {
+                    let mut guard = batch.done_mutex.lock();
+                    if batch.done.load(Ordering::Acquire) < n {
+                        batch.done_cv.wait_for(&mut guard, Duration::from_millis(1));
+                    }
+                }
+            }
+        }
+        let mut slots = batch.results.lock();
+        slots.iter_mut().map(|s| s.take().expect("fan-out task panicked")).collect()
+    }
+}
+
+impl<T> Batch<T> {
+    fn complete(&self, index: usize, value: T) {
+        self.results.lock()[index] = Some(value);
+        self.bump_done();
+    }
+
+    /// Count a task as finished without a result (it panicked).
+    fn abandon(&self) {
+        self.bump_done();
+    }
+
+    fn bump_done(&self) {
+        self.done.fetch_add(1, Ordering::Release);
+        let _guard = self.done_mutex.lock();
+        self.done_cv.notify_all();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            queue.pop_front()
+        };
+        match job {
+            Some(job) => job(),
+            None => {
+                let mut down = shared.shutdown.lock();
+                if *down {
+                    return;
+                }
+                // Re-check the queue under no lock-order hazard: a producer
+                // enqueues then notifies, so a missed wakeup only costs one
+                // timeout tick.
+                shared.work_cv.wait_for(&mut down, Duration::from_millis(10));
+                if *down {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for FanoutPool {
+    fn drop(&mut self) {
+        *self.shared.shutdown.lock() = true;
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_all_tasks_and_preserves_order() {
+        let pool = FanoutPool::new(4);
+        let out = pool.run((0..32).map(|i| move || i * 2).collect::<Vec<_>>());
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let pool = FanoutPool::new(2);
+        assert_eq!(pool.run(Vec::<fn() -> u32>::new()), Vec::<u32>::new());
+        assert_eq!(pool.run(vec![|| 7u32]), vec![7]);
+    }
+
+    #[test]
+    fn zero_worker_pool_still_completes() {
+        let pool = FanoutPool::new(0);
+        let out = pool.run((0..8).map(|i| move || i + 1).collect::<Vec<_>>());
+        assert_eq!(out.len(), 8);
+        assert_eq!(out[7], 8);
+    }
+
+    #[test]
+    fn nested_fanout_does_not_deadlock() {
+        let pool = Arc::new(FanoutPool::new(2));
+        // Each outer task fans out again; with 2 workers and 4 outer tasks
+        // the inner batches can only finish if blocked callers help.
+        let outer: Vec<_> = (0..4)
+            .map(|i| {
+                let pool = Arc::clone(&pool);
+                move || {
+                    let inner = pool.run((0..4).map(|j| move || i * 10 + j).collect::<Vec<_>>());
+                    inner.into_iter().sum::<i32>()
+                }
+            })
+            .collect();
+        let sums = pool.run(outer);
+        assert_eq!(sums, vec![6, 46, 86, 126]);
+    }
+
+    #[test]
+    fn tasks_actually_run_concurrently() {
+        let pool = FanoutPool::new(4);
+        let t0 = std::time::Instant::now();
+        pool.run(
+            (0..4)
+                .map(|_| move || std::thread::sleep(Duration::from_millis(40)))
+                .collect::<Vec<_>>(),
+        );
+        // Serial would be 160 ms; parallel should be well under 120 ms.
+        assert!(
+            t0.elapsed() < Duration::from_millis(120),
+            "fan-out took {:?}, expected parallel execution",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn panicking_task_does_not_wedge_other_batches() {
+        let pool = Arc::new(FanoutPool::new(2));
+        let p = Arc::clone(&pool);
+        let t = std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                // The panicking task is queued, so it may run on a worker;
+                // the caller must still unwind instead of hanging.
+                p.run(vec![|| (), || panic!("boom")]);
+            }));
+        });
+        let _ = t.join(); // the panicked helper thread must not poison the pool
+        let out = pool.run(vec![|| 1, || 2]);
+        assert_eq!(out, vec![1, 2]);
+    }
+}

@@ -26,9 +26,11 @@ pub mod cluster;
 pub mod coproc;
 pub mod encoding;
 pub mod error;
+pub mod fanout;
 pub mod keyspace;
 
 pub use cluster::{Cluster, ClusterOptions, PutOutcome, RowGroup, WeakCluster};
 pub use coproc::{ColumnValue, ReplayedOp, TableObserver};
+pub use fanout::FanoutPool;
 pub use error::{ClusterError, Result};
 pub use keyspace::{PartitionMap, RegionId, RegionSpec, ServerId};

@@ -86,6 +86,11 @@ pub struct AuqMetrics {
     pub lag_sum_ms: AtomicU64,
     /// Maximum observed lag in ms.
     pub lag_max_ms: AtomicU64,
+    /// Synchronous index updates whose SU2 (new-entry put) and SU3/SU4
+    /// (pre-image read + old-entry delete) arms were dispatched in parallel.
+    pub fanout_dispatches: AtomicU64,
+    /// Total parallel sub-operations those dispatches fanned out.
+    pub fanout_tasks: AtomicU64,
 }
 
 impl AuqMetrics {
@@ -180,6 +185,18 @@ impl Auq {
     /// Add a task. Blocks while the queue is paused for a flush drain —
     /// the paper's "block the AUQ from receiving new entries" (§5.3).
     pub fn enqueue(&self, task: IndexTask) {
+        self.enqueue_many(std::iter::once(task));
+    }
+
+    /// Add a batch of tasks under one queue lock with a single worker
+    /// wake-up. The blocking-while-paused contract matches [`Auq::enqueue`];
+    /// the whole batch is admitted atomically, so a flush drain never splits
+    /// the tasks of one base operation across a pause boundary.
+    pub fn enqueue_many<I: IntoIterator<Item = IndexTask>>(&self, tasks: I) {
+        let mut tasks = tasks.into_iter().peekable();
+        if tasks.peek().is_none() {
+            return;
+        }
         let mut s = self.state.lock();
         while s.paused && !s.shutdown {
             self.cv.wait(&mut s);
@@ -187,8 +204,12 @@ impl Auq {
         if s.shutdown {
             return;
         }
-        s.queue.push_back((task, 0));
-        self.metrics.enqueued.fetch_add(1, Ordering::Relaxed);
+        let mut n = 0u64;
+        for task in tasks {
+            s.queue.push_back((task, 0));
+            n += 1;
+        }
+        self.metrics.enqueued.fetch_add(n, Ordering::Relaxed);
         self.cv.notify_all();
     }
 

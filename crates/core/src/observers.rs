@@ -14,6 +14,7 @@ use crate::spec::IndexSpec;
 use bytes::Bytes;
 use diff_index_cluster::{Cluster, ColumnValue, ReplayedOp, TableObserver};
 use diff_index_lsm::DELTA;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Key-only index entry payload: one empty column with an empty value.
@@ -25,42 +26,109 @@ fn null_cell() -> Vec<ColumnValue> {
 /// controls whether SU3/SU4 (read old value, delete old entry) run —
 /// `sync-full` does, `sync-insert` skips them. Failed operations are pushed
 /// to the AUQ instead of rolling back the base put (§6.2).
+///
+/// With `do_repair`, SU2 and the SU3→SU4 chain touch *different* index rows
+/// (new-value entry vs old-value entry) in what are typically different
+/// index regions, so they run in parallel on the cluster's fan-out pool.
+/// The §4.3 invariant is untouched by the reordering: both arms carry fixed
+/// timestamps (`ts` and `ts − δ`) assigned before the dispatch, so the index
+/// state after both arms land is identical regardless of execution order.
 fn sync_update(
     cluster: &Cluster,
-    spec: &IndexSpec,
-    auq: &Auq,
+    spec: &Arc<IndexSpec>,
+    auq: &Arc<Auq>,
     row: &[u8],
     columns: &[ColumnValue],
     ts: u64,
     do_repair: bool,
 ) -> Result<()> {
-    let index_table = spec.index_table();
-    // SU2: put the new index entry, with the base timestamp.
+    // SU1 pre-computation shared by both arms: the index values after this
+    // put (reads the stored row only for composite columns the put missed).
     let new_vals = new_index_values(cluster, spec, row, columns, ts)?;
-    if let Some(vals) = &new_vals {
-        let new_key = index_row(vals, row);
-        if cluster.raw_put(&index_table, &new_key, &null_cell(), ts).is_err() {
-            auq.enqueue(IndexTask::PutIndex { index_row: new_key, ts });
-        }
-    }
     if !do_repair {
+        // SU2 only — no repair arm, nothing to fan out.
+        if let Some(vals) = &new_vals {
+            let new_key = index_row(vals, row);
+            if cluster.raw_put(&spec.index_table(), &new_key, &null_cell(), ts).is_err() {
+                auq.enqueue(IndexTask::PutIndex { index_row: new_key, ts });
+            }
+        }
         return Ok(());
     }
-    // SU3: read the pre-image — RB(k, tnew − δ).
-    let old_vals = read_index_values(cluster, spec, row, ts - DELTA)?;
-    // SU4: delete the old entry at tnew − δ. The δ matters twice (§4.3):
-    // reading at tnew would see the new value; deleting at tnew would kill
-    // the entry just written when vold == vnew. Skipping the delete when the
-    // values are equal avoids pointless work.
-    if let Some(old) = old_vals {
-        if Some(&old) != new_vals.as_ref() {
-            let old_key = index_row(&old, row);
-            if cluster.raw_delete(&index_table, &old_key, &[Bytes::new()], ts - DELTA).is_err() {
-                auq.enqueue(IndexTask::DeleteIndex { index_row: old_key, ts: ts - DELTA });
+
+    type Arm = Box<dyn FnOnce() -> Result<Vec<IndexTask>> + Send + 'static>;
+    let row = Bytes::copy_from_slice(row);
+    let mut arms: Vec<Arm> = Vec::with_capacity(2);
+    {
+        // SU2: put the new index entry, with the base timestamp.
+        let cluster = cluster.clone();
+        let spec = Arc::clone(spec);
+        let new_vals = new_vals.clone();
+        let row = row.clone();
+        arms.push(Box::new(move || {
+            if let Some(vals) = &new_vals {
+                let new_key = index_row(vals, &row);
+                if cluster.raw_put(&spec.index_table(), &new_key, &null_cell(), ts).is_err() {
+                    return Ok(vec![IndexTask::PutIndex { index_row: new_key, ts }]);
+                }
+            }
+            Ok(Vec::new())
+        }));
+    }
+    {
+        // SU3: read the pre-image — RB(k, tnew − δ).
+        // SU4: delete the old entry at tnew − δ. The δ matters twice (§4.3):
+        // reading at tnew would see the new value; deleting at tnew would
+        // kill the entry just written when vold == vnew. Skipping the delete
+        // when the values are equal avoids pointless work.
+        let cluster = cluster.clone();
+        let spec = Arc::clone(spec);
+        arms.push(Box::new(move || {
+            let old_vals = read_index_values(&cluster, &spec, &row, ts - DELTA)?;
+            if let Some(old) = old_vals {
+                if Some(&old) != new_vals.as_ref() {
+                    let old_key = index_row(&old, &row);
+                    if cluster
+                        .raw_delete(&spec.index_table(), &old_key, &[Bytes::new()], ts - DELTA)
+                        .is_err()
+                    {
+                        return Ok(vec![IndexTask::DeleteIndex {
+                            index_row: old_key,
+                            ts: ts - DELTA,
+                        }]);
+                    }
+                }
+            }
+            Ok(Vec::new())
+        }));
+    }
+
+    let metrics = auq.metrics();
+    metrics.fanout_dispatches.fetch_add(1, Ordering::Relaxed);
+    metrics.fanout_tasks.fetch_add(arms.len() as u64, Ordering::Relaxed);
+    let results = cluster.fanout().run(arms);
+
+    // Failed index ops degrade to the AUQ as one atomically admitted batch;
+    // a read error in either arm surfaces after both arms have finished
+    // (matching the sequential code, where SU2's enqueue preceded an SU3
+    // read error).
+    let mut retries = Vec::new();
+    let mut first_err = None;
+    for result in results {
+        match result {
+            Ok(mut tasks) => retries.append(&mut tasks),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
             }
         }
     }
-    Ok(())
+    auq.enqueue_many(retries);
+    match first_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
 }
 
 /// Synchronous handling of a base delete: remove the index entry of the

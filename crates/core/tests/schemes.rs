@@ -88,6 +88,36 @@ fn sync_full_delete_removes_entry() {
 }
 
 #[test]
+fn sync_full_fans_out_su2_and_repair_in_parallel() {
+    // Every sync-full put dispatches SU2 ∥ (SU3→SU4) on the fan-out pool —
+    // two sub-operations per update — and the result must be identical to
+    // the sequential algorithm (old entry gone, new entry present).
+    let (_d, cluster, di) = setup(IndexScheme::SyncFull);
+    put_title(&cluster, "item1", "before");
+    put_title(&cluster, "item1", "after");
+    let auq = &di.index("item", "title").unwrap().auq;
+    let m = auq.metrics();
+    use std::sync::atomic::Ordering;
+    let dispatches = m.fanout_dispatches.load(Ordering::Relaxed);
+    let tasks = m.fanout_tasks.load(Ordering::Relaxed);
+    assert_eq!(dispatches, 2, "one fan-out dispatch per indexed put");
+    assert_eq!(tasks, 2 * dispatches, "SU2 and SU3/SU4 arms per dispatch");
+    assert!(di.get_by_index("item", "title", b"before", 100).unwrap().is_empty());
+    assert_eq!(rows_of(&di.get_by_index("item", "title", b"after", 100).unwrap()), vec!["item1"]);
+}
+
+#[test]
+fn sync_insert_does_not_fan_out() {
+    // sync-insert has no repair arm; SU2 runs inline with zero dispatch
+    // overhead.
+    let (_d, cluster, di) = setup(IndexScheme::SyncInsert);
+    put_title(&cluster, "item1", "solo");
+    let auq = &di.index("item", "title").unwrap().auq;
+    use std::sync::atomic::Ordering;
+    assert_eq!(auq.metrics().fanout_dispatches.load(Ordering::Relaxed), 0);
+}
+
+#[test]
 fn index_entry_timestamp_equals_base_timestamp() {
     // The concurrency-control invariant of §4.3.
     let (_d, cluster, di) = setup(IndexScheme::SyncFull);

@@ -19,6 +19,24 @@
 //! lock, then builds the SSTable from the frozen memtable with no locks
 //! held. Compaction likewise merges a private clone of the table stack.
 //! This mirrors RocksDB's "superversion" scheme.
+//!
+//! ## Write-path concurrency (group commit)
+//!
+//! A write is split into *staging* and *durability*. [`LsmTree::stage_batch`]
+//! holds the `write_state` lock only for in-memory work: it appends the
+//! record to the WAL's user-space buffer and inserts into the active
+//! memtable, assigning the record a monotonically increasing sequence
+//! number. [`LsmTree::complete`] then waits for that sequence to become
+//! durable. In `wal_sync` mode one waiter at a time elects itself the
+//! **group-commit leader**: it flushes the WAL buffer, fsyncs an
+//! independent clone of the segment file with **no lock held**, and
+//! advances `durable_seq` past every record staged before the fsync — so N
+//! concurrent writers share one fsync instead of paying one each.
+//!
+//! Lock order: `maintenance` → `write_state` → `durability`. The leader
+//! never holds `durability` while acquiring `write_state` (it drops the
+//! guard first), so there is no hold-and-wait cycle with flushes, which
+//! take `write_state` then `durability` when rolling the WAL.
 
 use crate::cache::BlockCache;
 use crate::compaction::{gc_merge, should_compact, GcPolicy};
@@ -29,7 +47,7 @@ use crate::sstable::{Table, TableBuilder, TableOptions};
 use crate::types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp, VersionedValue};
 use crate::wal::{replay, WalWriter};
 use bytes::Bytes;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -114,6 +132,27 @@ struct WriteState {
     /// WAL segments superseded by a freeze but not yet safe to delete
     /// (their data is still only in a frozen memtable).
     pending_wals: Vec<u64>,
+    /// Sequence number of the newest record staged into the WAL buffer.
+    /// Monotonic across segment rolls.
+    staged_seq: u64,
+}
+
+/// Group-commit bookkeeping, guarded by its own mutex so waiters never
+/// contend with the staging fast path.
+struct DurabilityState {
+    /// Every record with `seq <= durable_seq` is on stable storage.
+    durable_seq: u64,
+    /// True while some thread (the group-commit leader) is fsyncing.
+    syncing: bool,
+}
+
+/// A staged, not-yet-completed write: the sequence number to wait on for
+/// durability plus whether the memtable crossed the flush threshold.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a staged write is not durable (nor flushed) until passed to LsmTree::complete"]
+pub struct WriteHandle {
+    seq: u64,
+    needs_flush: bool,
 }
 
 /// A single LSM tree, durable under a directory.
@@ -123,6 +162,8 @@ pub struct LsmTree {
     /// The current snapshot; swapped atomically (brief lock, no I/O).
     current: RwLock<Arc<Snapshot>>,
     write_state: Mutex<WriteState>,
+    durability: Mutex<DurabilityState>,
+    durable_cv: Condvar,
     /// Serializes flush/compaction against each other.
     maintenance: Mutex<()>,
     metrics: Arc<Metrics>,
@@ -221,7 +262,10 @@ impl LsmTree {
                 wal_no,
                 next_file_no,
                 pending_wals: Vec::new(),
+                staged_seq: 0,
             }),
+            durability: Mutex::new(DurabilityState { durable_seq: 0, syncing: false }),
+            durable_cv: Condvar::new(),
             maintenance: Mutex::new(()),
             metrics,
             pre_flush_hooks: RwLock::new(Vec::new()),
@@ -264,37 +308,135 @@ impl LsmTree {
 
     // -- writes ------------------------------------------------------------
 
-    /// Append a batch of cells atomically (one WAL record).
+    /// Append a batch of cells atomically (one WAL record): stage, then
+    /// wait for group-commit durability. Callers that hold a coarser lock
+    /// around timestamp assignment should instead call
+    /// [`LsmTree::stage_batch`] inside it and [`LsmTree::complete`] outside,
+    /// so unrelated writers share the durability wait.
     pub fn write_batch(&self, cells: &[Cell]) -> Result<()> {
-        if cells.is_empty() {
-            return Ok(());
+        match self.stage_batch(cells)? {
+            Some(handle) => self.complete(handle),
+            None => Ok(()),
         }
-        let needs_flush = {
+    }
+
+    /// Write N `(key, ts, value)` cells as **one** WAL record and **one**
+    /// memtable apply under a single `write_state` acquisition.
+    pub fn put_batch(&self, entries: &[(Bytes, Timestamp, Bytes)]) -> Result<()> {
+        let cells: Vec<Cell> = entries
+            .iter()
+            .map(|(k, ts, v)| Cell::put(k.clone(), *ts, v.clone()))
+            .collect();
+        self.write_batch(&cells)
+    }
+
+    /// Stage a batch: one buffered WAL append plus the memtable apply,
+    /// under one `write_state` acquisition — **no fsync, no flush**. The
+    /// write is visible to readers immediately but is not durable until
+    /// [`LsmTree::complete`] (or a later group commit) covers its sequence
+    /// number. Returns `None` for empty batches, which cost nothing.
+    pub fn stage_batch(&self, cells: &[Cell]) -> Result<Option<WriteHandle>> {
+        if cells.is_empty() {
+            return Ok(None);
+        }
+        let mut ws = self.write_state.lock();
+        let wal = ws
+            .wal
+            .as_mut()
+            .ok_or_else(|| LsmError::InvalidOperation("engine closed".into()))?;
+        wal.append_buffered(cells)?;
+        if !self.opts.wal_sync {
+            // Keep non-durable mode's old contract: bytes reach the OS on
+            // every append, so a clean process exit loses nothing.
+            wal.flush_os_buffer()?;
+        }
+        ws.staged_seq += 1;
+        let seq = ws.staged_seq;
+        Metrics::bump(&self.metrics.wal_appends);
+        // The write-state lock also blocks freezes, so this snapshot's
+        // `active` handle is guaranteed to be the live one.
+        let snap = self.snapshot();
+        let mut active = snap.active.write();
+        for c in cells {
+            match c.key.kind {
+                CellKind::Put => Metrics::bump(&self.metrics.puts),
+                CellKind::Delete => Metrics::bump(&self.metrics.deletes),
+            }
+            active.insert(c.clone());
+        }
+        let needs_flush =
+            self.opts.auto_flush && active.approximate_bytes() >= self.opts.memtable_flush_bytes;
+        Ok(Some(WriteHandle { seq, needs_flush }))
+    }
+
+    /// Second half of a staged write: wait until the record is durable
+    /// (in `wal_sync` mode), then run the auto-flush the staging detected.
+    pub fn complete(&self, handle: WriteHandle) -> Result<()> {
+        if self.opts.wal_sync {
+            self.wait_durable(handle.seq)?;
+        }
+        if handle.needs_flush {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Block until every record with sequence `<= seq` is on stable
+    /// storage, electing this thread group-commit leader if no fsync is in
+    /// flight. Followers park on the condvar and are released in one
+    /// `notify_all` when the leader's fsync covers them.
+    fn wait_durable(&self, seq: u64) -> Result<()> {
+        let mut d = self.durability.lock();
+        loop {
+            if d.durable_seq >= seq {
+                return Ok(());
+            }
+            if d.syncing {
+                self.durable_cv.wait(&mut d);
+                continue;
+            }
+            d.syncing = true;
+            let already_durable = d.durable_seq;
+            drop(d);
+            let synced = self.sync_wal();
+            d = self.durability.lock();
+            d.syncing = false;
+            let failed = match synced {
+                Ok(upto) => {
+                    if upto > d.durable_seq {
+                        Metrics::bump(&self.metrics.wal_fsyncs);
+                        Metrics::add(&self.metrics.group_commit_records, upto - already_durable);
+                        d.durable_seq = upto;
+                    }
+                    None
+                }
+                Err(e) => Some(e),
+            };
+            // Wake followers either way: on failure each retries leadership
+            // and reports its own error rather than trusting a clone.
+            self.durable_cv.notify_all();
+            if let Some(e) = failed {
+                return Err(e);
+            }
+        }
+    }
+
+    /// Flush the WAL's user-space buffer and fsync the segment. The fsync
+    /// runs on an independent file handle with **no lock held**, so writers
+    /// keep staging into the buffer while the leader waits on the disk.
+    /// Returns the staged sequence the fsync is guaranteed to cover.
+    fn sync_wal(&self) -> Result<u64> {
+        let (file, upto) = {
             let mut ws = self.write_state.lock();
+            let upto = ws.staged_seq;
             let wal = ws
                 .wal
                 .as_mut()
                 .ok_or_else(|| LsmError::InvalidOperation("engine closed".into()))?;
-            wal.append(cells)?;
-            Metrics::bump(&self.metrics.wal_appends);
-            // The write-state lock also blocks freezes, so this snapshot's
-            // `active` handle is guaranteed to be the live one.
-            let snap = self.snapshot();
-            let mut active = snap.active.write();
-            for c in cells {
-                match c.key.kind {
-                    CellKind::Put => Metrics::bump(&self.metrics.puts),
-                    CellKind::Delete => Metrics::bump(&self.metrics.deletes),
-                }
-                active.insert(c.clone());
-            }
-            self.opts.auto_flush
-                && active.approximate_bytes() >= self.opts.memtable_flush_bytes
+            (wal.flush_and_clone()?, upto)
         };
-        if needs_flush {
-            self.flush()?;
-        }
-        Ok(())
+        file.sync_data()?;
+        Ok(upto)
     }
 
     /// Write one value cell.
@@ -466,6 +608,26 @@ impl LsmTree {
                 let new_wal_no = ws.next_file_no;
                 ws.next_file_no += 1;
                 let old_wal_no = ws.wal_no;
+                // Settle the outgoing segment before swapping it out: every
+                // record staged so far lives in it (or an older, already
+                // settled one), so after this the whole staged prefix is as
+                // durable as the mode promises. `sync_wal` relies on this —
+                // it only ever fsyncs the *current* segment.
+                if let Some(old_wal) = ws.wal.as_mut() {
+                    if self.opts.wal_sync {
+                        old_wal.sync()?;
+                        Metrics::bump(&self.metrics.wal_fsyncs);
+                    } else {
+                        old_wal.flush_os_buffer()?;
+                    }
+                }
+                {
+                    let mut d = self.durability.lock();
+                    if ws.staged_seq > d.durable_seq {
+                        d.durable_seq = ws.staged_seq;
+                        self.durable_cv.notify_all();
+                    }
+                }
                 ws.wal = Some(WalWriter::create(
                     wal_path(&self.dir, new_wal_no),
                     self.opts.wal_sync,
@@ -1192,6 +1354,62 @@ mod tests {
         assert_eq!(db.memtable_cells(), 0, "frozen list must drain after flush");
         let rows = db.scan(b"", None, u64::MAX, usize::MAX).unwrap();
         assert_eq!(rows.len(), 50);
+    }
+
+    #[test]
+    fn batched_put_amortizes_wal_append_and_fsync() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(
+            dir.path(),
+            LsmOptions { wal_sync: true, ..manual_opts() },
+        )
+        .unwrap();
+        let entries: Vec<(Bytes, Timestamp, Bytes)> = (0..64u64)
+            .map(|i| (Bytes::from(format!("k{i:03}")), i + 1, Bytes::from("v")))
+            .collect();
+        db.put_batch(&entries).unwrap();
+        let m = db.metrics().snapshot();
+        assert_eq!(m.puts, 64);
+        assert_eq!(m.wal_appends, 1, "a batch is one WAL record");
+        assert_eq!(m.wal_fsyncs, 1, "a batch is one fsync");
+        assert!(m.puts_per_fsync() >= 64.0, "puts_per_fsync = {}", m.puts_per_fsync());
+        assert_eq!(db.get_latest(b"k063").unwrap().unwrap().ts, 64);
+    }
+
+    #[test]
+    fn concurrent_durable_writers_share_fsyncs() {
+        let dir = TempDir::new("lsm").unwrap();
+        let db = LsmTree::open(
+            dir.path(),
+            LsmOptions { wal_sync: true, ..manual_opts() },
+        )
+        .unwrap();
+        const THREADS: u64 = 8;
+        const OPS: u64 = 50;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let db = &db;
+                s.spawn(move || {
+                    for i in 0..OPS {
+                        db.put(format!("k{t}-{i}"), t * OPS + i + 1, "v").unwrap();
+                    }
+                });
+            }
+        });
+        let m = db.metrics().snapshot();
+        assert_eq!(m.wal_appends, THREADS * OPS);
+        assert!(m.wal_fsyncs >= 1);
+        // Group commit: while one leader fsyncs (~hundreds of µs) the other
+        // seven writers stage and wait, so fsyncs must come out well below
+        // one per append.
+        assert!(
+            m.wal_fsyncs < m.wal_appends,
+            "expected shared fsyncs, got {} fsyncs for {} appends",
+            m.wal_fsyncs,
+            m.wal_appends
+        );
+        assert!(m.mean_group_commit() > 1.0, "mean group = {}", m.mean_group_commit());
+        assert!(m.puts_per_fsync() > 1.0, "puts/fsync = {}", m.puts_per_fsync());
     }
 }
 

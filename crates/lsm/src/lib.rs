@@ -40,7 +40,7 @@ pub mod util;
 pub mod wal;
 
 pub use cache::BlockCache;
-pub use engine::{FlushHook, LsmOptions, LsmTree};
+pub use engine::{FlushHook, LsmOptions, LsmTree, WriteHandle};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use sstable::{Block, TableOptions};
 pub use types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp, VersionedValue, DELTA};

@@ -8,11 +8,11 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 macro_rules! counters {
-    ($(#[$sm:meta] $name:ident),+ $(,)?) => {
+    ($($(#[$sm:meta])+ $name:ident),+ $(,)?) => {
         /// Cumulative engine counters. All methods are lock-free.
         #[derive(Debug, Default)]
         pub struct Metrics {
-            $(#[$sm] pub $name: AtomicU64,)+
+            $($(#[$sm])+ pub $name: AtomicU64,)+
         }
 
         impl Metrics {
@@ -29,7 +29,7 @@ macro_rules! counters {
         /// per-interval deltas.
         #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
         pub struct MetricsSnapshot {
-            $(#[$sm] pub $name: u64,)+
+            $($(#[$sm])+ pub $name: u64,)+
         }
 
         impl std::ops::Sub for MetricsSnapshot {
@@ -59,6 +59,13 @@ counters! {
     scans,
     /// WAL record appends.
     wal_appends,
+    /// WAL fsyncs (group commits + segment rolls). With group commit many
+    /// appends share one fsync, so `wal_appends / wal_fsyncs` is the
+    /// effective commit batch size.
+    wal_fsyncs,
+    /// WAL records made durable by group-commit fsyncs; divided by
+    /// `wal_fsyncs` this is the mean group-commit batch size.
+    group_commit_records,
     /// Memtable flushes completed.
     flushes,
     /// Compactions completed.
@@ -90,6 +97,27 @@ impl Metrics {
     /// Increment a counter by `n`.
     pub fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl MetricsSnapshot {
+    /// Mean number of WAL records made durable per group-commit fsync —
+    /// the write path's batching factor (1.0 means no batching happened).
+    pub fn mean_group_commit(&self) -> f64 {
+        if self.wal_fsyncs == 0 {
+            0.0
+        } else {
+            self.group_commit_records as f64 / self.wal_fsyncs as f64
+        }
+    }
+
+    /// Cells (puts + tombstones) made durable per WAL fsync.
+    pub fn puts_per_fsync(&self) -> f64 {
+        if self.wal_fsyncs == 0 {
+            0.0
+        } else {
+            (self.puts + self.deletes) as f64 / self.wal_fsyncs as f64
+        }
     }
 }
 

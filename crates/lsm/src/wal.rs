@@ -54,15 +54,14 @@ impl WalWriter {
         Ok(Self { path, file: BufWriter::new(file), written: 0, sync_on_append })
     }
 
-    /// Append a batch of cells as one atomic record.
+    /// Append a batch of cells as one atomic record, then flush (and fsync,
+    /// in `sync_on_append` mode). Empty batches write nothing — a header
+    /// plus fsync for zero cells is pure overhead.
     pub fn append(&mut self, cells: &[Cell]) -> Result<()> {
-        let payload = encode_batch(cells);
-        let mut header = [0u8; 8];
-        header[..4].copy_from_slice(&crc32(&payload).to_le_bytes());
-        header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.file.write_all(&header)?;
-        self.file.write_all(&payload)?;
-        self.written += (header.len() + payload.len()) as u64;
+        if cells.is_empty() {
+            return Ok(());
+        }
+        self.append_buffered(cells)?;
         if self.sync_on_append {
             self.sync()?;
         } else {
@@ -71,11 +70,44 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Append a record into the user-space buffer **without** flushing or
+    /// fsyncing. The group-commit path stages many records this way and
+    /// makes them all durable with a single [`WalWriter::sync`] (or an
+    /// fsync on the handle from [`WalWriter::flush_and_clone`]).
+    pub fn append_buffered(&mut self, cells: &[Cell]) -> Result<()> {
+        if cells.is_empty() {
+            return Ok(());
+        }
+        let payload = encode_batch(cells);
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&crc32(&payload).to_le_bytes());
+        header[4..].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.file.write_all(&header)?;
+        self.file.write_all(&payload)?;
+        self.written += (header.len() + payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Flush the user-space buffer into the OS (no fsync).
+    pub fn flush_os_buffer(&mut self) -> Result<()> {
+        self.file.flush()?;
+        Ok(())
+    }
+
     /// Flush buffered data and fsync the file.
     pub fn sync(&mut self) -> Result<()> {
         self.file.flush()?;
         self.file.get_ref().sync_data()?;
         Ok(())
+    }
+
+    /// Flush buffered data into the OS and return an independent handle to
+    /// the segment file. The caller fsyncs that handle with no engine lock
+    /// held, so concurrent writers keep staging while the group-commit
+    /// leader waits on the disk.
+    pub fn flush_and_clone(&mut self) -> Result<File> {
+        self.file.flush()?;
+        Ok(self.file.get_ref().try_clone()?)
     }
 
     /// Path of this segment.
@@ -217,15 +249,33 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_is_legal() {
+    fn empty_batch_writes_nothing() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = dir.path().join("wal.log");
+        let mut w = WalWriter::create(&path, true).unwrap();
+        w.append(&[]).unwrap();
+        assert_eq!(w.written_bytes(), 0, "no header, no fsync for zero cells");
+        drop(w);
+        let r = replay(&path).unwrap();
+        assert_eq!(r.records, 0);
+        assert!(r.cells.is_empty());
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn buffered_appends_become_durable_via_cloned_handle() {
         let dir = TempDir::new("wal").unwrap();
         let path = dir.path().join("wal.log");
         let mut w = WalWriter::create(&path, false).unwrap();
-        w.append(&[]).unwrap();
-        drop(w);
+        w.append_buffered(&[Cell::put("a", 1, "x")]).unwrap();
+        w.append_buffered(&[Cell::put("b", 2, "y")]).unwrap();
+        let f = w.flush_and_clone().unwrap();
+        f.sync_data().unwrap();
+        // Both records are on disk even though the writer never synced.
         let r = replay(&path).unwrap();
-        assert_eq!(r.records, 1);
-        assert!(r.cells.is_empty());
+        assert_eq!(r.records, 2);
+        assert_eq!(r.cells.len(), 2);
+        drop(w);
     }
 
     #[test]
