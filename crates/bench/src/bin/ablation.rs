@@ -44,13 +44,13 @@ fn main() {
                 .put("item", format!("r{i:04}").as_bytes(), &[(b("item_title"), b("v"))])
                 .unwrap();
         }
-        let queued = handle.auq.depth();
+        let queued = handle.auq().depth();
         let t0 = Instant::now();
         cluster.flush_table("item").unwrap(); // pre_flush: pause + drain
         let took = t0.elapsed();
         let per = if queued > 0 { took / queued as u32 } else { std::time::Duration::ZERO };
         println!("{:>12} {:>16?} {:>18?}", queued, took, per);
-        assert_eq!(handle.auq.depth(), 0, "flush must leave the AUQ empty (PR(Flushed) = ∅)");
+        assert_eq!(handle.auq().depth(), 0, "flush must leave the AUQ empty (PR(Flushed) = ∅)");
     }
 
     println!("\n# Ablation 2: idempotent re-delivery overhead (paper §5.3)\n");
@@ -71,14 +71,14 @@ fn main() {
     di.quiesce("item"); // everything delivered once
     let idx = di.index("item", "t").unwrap().spec.index_table();
     let before = cluster.table_metrics(&idx).unwrap();
-    let enq_before = handle.auq.metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed);
+    let enq_before = handle.auq().metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed);
 
     cluster.crash_server(0);
     cluster.recover().unwrap();
     di.quiesce("item"); // re-deliveries execute
 
     let after = cluster.table_metrics(&idx).unwrap();
-    let enq_after = handle.auq.metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed);
+    let enq_after = handle.auq().metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed);
     let redelivered = enq_after - enq_before;
     let extra_index_puts = (after - before).puts;
     let entries = di.get_by_index("item", "t", b"v", 10_000).unwrap().len();

@@ -1,0 +1,255 @@
+//! Network-path harness: YCSB Workloads A–F driven against the same
+//! Diff-Index stack twice — once in-process (function calls into the
+//! cluster) and once over the wire (a loopback [`diff_index_net::ServerGroup`]
+//! fronted by a [`diff_index_net::RemoteClient`]). Both sides share one
+//! `Target` implementation that goes through the [`Store`] trait, so the
+//! only variable is the transport.
+//!
+//! Emits the socket-side results to `BENCH_netpath.json` and the
+//! in-process results to `BENCH_netpath_baseline.json` (override with the
+//! first/second CLI arguments). With `--remote <addr>` the driver skips
+//! the loopback group and the baseline and measures an external server
+//! instead.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p diff-index-bench --bin netbench [--remote ADDR] [out.json [baseline.json]]
+//! ```
+//!
+//! Workload mapping (the driver supports update/read-by-index mixes; the
+//! YCSB letters are approximated on that surface):
+//!
+//! | WL | mix                | distribution | notes                                  |
+//! |----|--------------------|--------------|----------------------------------------|
+//! | A  | 50% update         | zipfian      |                                        |
+//! | B  | 5% update          | zipfian      |                                        |
+//! | C  | read-only          | zipfian      |                                        |
+//! | D  | 5% update          | uniform      | "latest" approximated as uniform       |
+//! | E  | 5% update          | zipfian      | reads are short index scans (limit 1k) |
+//! | F  | 50% update         | uniform      | RMW approximated as blind update       |
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{DiffIndex, IndexScheme, IndexSpec};
+use diff_index_lsm::{LsmOptions, TableOptions};
+use diff_index_net::{RemoteClient, ServerGroup};
+use diff_index_ycsb::{DriverConfig, ItemWorkload, OpMix, Target};
+use std::sync::Arc;
+use tempdir_lite::TempDir;
+
+/// Concurrent client threads per workload.
+const THREADS: usize = 4;
+/// Operations per client thread per workload.
+const OPS_PER_THREAD: usize = 150;
+/// Item ids `0..KEY_SPACE`, seeded before the clock starts.
+const KEY_SPACE: u64 = 400;
+/// Distinct indexed values (Table 2's `K`).
+const TITLE_CARDINALITY: u64 = 64;
+/// Region servers (and loopback listeners) in the stack under test.
+const NUM_SERVERS: usize = 2;
+/// Regions for the base table and the index table.
+const REGIONS: usize = 4;
+
+struct WorkloadSpec {
+    name: &'static str,
+    update_fraction: f64,
+    zipfian: bool,
+}
+
+const WORKLOADS: [WorkloadSpec; 6] = [
+    WorkloadSpec { name: "ycsb_a", update_fraction: 0.5, zipfian: true },
+    WorkloadSpec { name: "ycsb_b", update_fraction: 0.05, zipfian: true },
+    WorkloadSpec { name: "ycsb_c", update_fraction: 0.0, zipfian: true },
+    WorkloadSpec { name: "ycsb_d", update_fraction: 0.05, zipfian: false },
+    WorkloadSpec { name: "ycsb_e", update_fraction: 0.05, zipfian: true },
+    WorkloadSpec { name: "ycsb_f", update_fraction: 0.5, zipfian: false },
+];
+
+fn durable_lsm() -> LsmOptions {
+    LsmOptions {
+        wal_sync: true,
+        memtable_flush_bytes: 32 * 1024 * 1024,
+        table: TableOptions::default(),
+        auto_compact: false,
+        compaction_trigger: 0,
+        ..LsmOptions::default()
+    }
+}
+
+struct WorkloadResult {
+    name: &'static str,
+    ops: u64,
+    elapsed_us: u64,
+    update_p99_us: u64,
+    read_p99_us: u64,
+}
+
+impl WorkloadResult {
+    fn ops_per_sec(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.elapsed_us as f64 / 1e6)
+    }
+}
+
+/// One target for both backends: every operation goes through the
+/// [`Store`] the [`DiffIndex`] was built over, so the in-process and
+/// remote runs execute identical logic modulo transport.
+struct NetTarget {
+    di: DiffIndex,
+}
+
+impl Target for NetTarget {
+    fn update(&self, row: &Bytes, columns: &[(Bytes, Bytes)]) {
+        self.di.store().put("item", row, columns).expect("put");
+    }
+    fn update_batch(&self, rows: &[(Bytes, Vec<(Bytes, Bytes)>)]) {
+        self.di.store().put_batch("item", rows).expect("put_batch");
+    }
+    fn read_index(&self, title: &Bytes) -> usize {
+        self.di.get_by_index("item", "title", title, 1000).expect("index read").len()
+    }
+}
+
+/// Seed the key space and create the sync-full index through `di` (an
+/// admin RPC when `di` is remote), then run all six workloads.
+fn run_suite(di: DiffIndex, wl: &ItemWorkload) -> Vec<WorkloadResult> {
+    if !di.store().has_table("item").expect("has_table") {
+        di.store().create_table("item", REGIONS).expect("create_table");
+    }
+    if di.index("item", "title").is_err() {
+        di.create_index(
+            IndexSpec::single("title", "item", "item_title", IndexScheme::SyncFull),
+            REGIONS,
+        )
+        .expect("create index");
+    }
+    for i in 0..KEY_SPACE {
+        di.store().put("item", &wl.row_key(i), &wl.row(i)).expect("seed put");
+    }
+    di.quiesce("item");
+
+    let target = NetTarget { di };
+    WORKLOADS
+        .iter()
+        .map(|spec| {
+            let cfg = DriverConfig {
+                threads: THREADS,
+                ops_per_thread: OPS_PER_THREAD,
+                mix: OpMix { update_fraction: spec.update_fraction },
+                key_space: KEY_SPACE,
+                zipfian: spec.zipfian,
+                seed: 11,
+                batch_size: 1,
+            };
+            let report = diff_index_ycsb::run(&target, wl, &cfg);
+            WorkloadResult {
+                name: spec.name,
+                ops: report.ops,
+                elapsed_us: report.elapsed_us,
+                update_p99_us: report.update_hist.percentile(99.0),
+                read_p99_us: report.read_hist.percentile(99.0),
+            }
+        })
+        .collect()
+}
+
+fn write_json(path: &str, mode: &str, results: &[WorkloadResult]) {
+    let entries: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\":\"{}\",\"ops\":{},\"elapsed_us\":{},\"ops_per_sec\":{:.1},\"update_p99_us\":{},\"read_p99_us\":{}}}",
+                r.name,
+                r.ops,
+                r.elapsed_us,
+                r.ops_per_sec(),
+                r.update_p99_us,
+                r.read_p99_us
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"config\": {{\"mode\": \"{mode}\", \"wal_sync\": true, \"threads\": {THREADS}, \"ops_per_thread\": {OPS_PER_THREAD}, \"key_space\": {KEY_SPACE}, \"title_cardinality\": {TITLE_CARDINALITY}, \"num_servers\": {NUM_SERVERS}, \"scheme\": \"sync_full\"}},\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write(path, json).expect("write json");
+    println!("wrote {path}");
+}
+
+fn print_results(label: &str, results: &[WorkloadResult]) {
+    println!("{label}:");
+    for r in results {
+        println!(
+            "  {:<8} {:>6} ops in {:>9} us  ({:>9.1} ops/s, update p99 {:>6} us, read p99 {:>6} us)",
+            r.name,
+            r.ops,
+            r.elapsed_us,
+            r.ops_per_sec(),
+            r.update_p99_us,
+            r.read_p99_us
+        );
+    }
+}
+
+fn main() {
+    let mut remote_addr: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--remote" {
+            remote_addr = Some(args.next().expect("--remote needs an address"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let out_path = positional.first().cloned().unwrap_or_else(|| "BENCH_netpath.json".to_string());
+    let baseline_path =
+        positional.get(1).cloned().unwrap_or_else(|| "BENCH_netpath_baseline.json".to_string());
+
+    let wl = ItemWorkload::new(TITLE_CARDINALITY, 1_000_000, 7);
+
+    if let Some(addr) = remote_addr {
+        // External server: measure only the socket path.
+        let client = RemoteClient::connect_default(vec![addr.clone()]).expect("connect");
+        let remote = run_suite(DiffIndex::over_store(Arc::new(client)), &wl);
+        print_results(&format!("netpath (remote {addr})"), &remote);
+        write_json(&out_path, "remote", &remote);
+        return;
+    }
+
+    // In-process baseline: direct function calls into the cluster.
+    let dir = TempDir::new("netbench-local").expect("tempdir");
+    let cluster = Cluster::new(
+        dir.path(),
+        ClusterOptions { num_servers: NUM_SERVERS, lsm: durable_lsm() },
+    )
+    .expect("cluster");
+    let local = run_suite(DiffIndex::new(cluster), &wl);
+
+    // Loopback: same stack, every operation crosses a real socket.
+    let dir2 = TempDir::new("netbench-loopback").expect("tempdir");
+    let cluster2 = Cluster::new(
+        dir2.path(),
+        ClusterOptions { num_servers: NUM_SERVERS, lsm: durable_lsm() },
+    )
+    .expect("cluster");
+    let serve_di = DiffIndex::new(cluster2);
+    let group = ServerGroup::start(&serve_di).expect("server group");
+    let client = RemoteClient::connect_default(group.addrs()).expect("connect");
+    let remote = run_suite(DiffIndex::over_store(Arc::new(client)), &wl);
+    group.shutdown();
+
+    print_results("netpath (in-process baseline)", &local);
+    print_results("netpath (loopback sockets)", &remote);
+    println!("loopback / in-process throughput ratio:");
+    for (l, r) in local.iter().zip(remote.iter()) {
+        let ratio = if r.ops_per_sec() > 0.0 { l.ops_per_sec() / r.ops_per_sec() } else { 0.0 };
+        println!("  {:<8} {:>5.2}x slower over loopback", l.name, ratio);
+    }
+
+    write_json(&out_path, "loopback", &remote);
+    write_json(&baseline_path, "in_process", &local);
+}

@@ -26,6 +26,117 @@ use std::sync::{Arc, Weak};
 /// returned by the grouped row scans.
 pub type RowGroup = (Bytes, Vec<(Bytes, VersionedValue)>);
 
+/// The kind of region-level operation being dispatched. Every dispatch
+/// through the routing choke point is tagged with one of these — each would
+/// be a network RPC to a region server in the real deployment, so the
+/// per-op counters measure RPC cost instead of asserting it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegionOp {
+    Put,
+    Delete,
+    RawPut,
+    RawDelete,
+    Get,
+    GetRow,
+    Scan,
+}
+
+#[derive(Default)]
+struct DispatchCounters {
+    puts: AtomicU64,
+    deletes: AtomicU64,
+    raw_puts: AtomicU64,
+    raw_deletes: AtomicU64,
+    gets: AtomicU64,
+    get_rows: AtomicU64,
+    scans: AtomicU64,
+}
+
+impl DispatchCounters {
+    fn bump(&self, op: RegionOp) {
+        let counter = match op {
+            RegionOp::Put => &self.puts,
+            RegionOp::Delete => &self.deletes,
+            RegionOp::RawPut => &self.raw_puts,
+            RegionOp::RawDelete => &self.raw_deletes,
+            RegionOp::Get => &self.gets,
+            RegionOp::GetRow => &self.get_rows,
+            RegionOp::Scan => &self.scans,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> DispatchSnapshot {
+        DispatchSnapshot {
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            raw_puts: self.raw_puts.load(Ordering::Relaxed),
+            raw_deletes: self.raw_deletes.load(Ordering::Relaxed),
+            gets: self.gets.load(Ordering::Relaxed),
+            get_rows: self.get_rows.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Per-operation counts of region-level dispatches, derived from the real
+/// routing path (not hand-maintained). Take a delta around an operation to
+/// see its RPC decomposition — e.g. one sync-full update put shows as
+/// 1 put + 1 get (the `RB(k, t−δ)` read-back) + 1 raw put + 1 raw delete,
+/// matching Table 1's 3-RPC index-maintenance cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchSnapshot {
+    /// Client puts (timestamped by the server, observers dispatched).
+    pub puts: u64,
+    /// Client deletes.
+    pub deletes: u64,
+    /// Index-maintenance puts at an explicit timestamp.
+    pub raw_puts: u64,
+    /// Index-maintenance deletes at an explicit timestamp.
+    pub raw_deletes: u64,
+    /// Point reads (versioned cell reads included).
+    pub gets: u64,
+    /// Whole-row reads.
+    pub get_rows: u64,
+    /// Per-region legs of grouped row scans.
+    pub scans: u64,
+}
+
+impl DispatchSnapshot {
+    /// All region-level operations.
+    pub fn total(&self) -> u64 {
+        self.puts
+            + self.deletes
+            + self.raw_puts
+            + self.raw_deletes
+            + self.gets
+            + self.get_rows
+            + self.scans
+    }
+
+    /// Region ops beyond the client's own base writes — as a delta around a
+    /// write burst this is exactly the synchronous index-maintenance RPC
+    /// count (read-backs + index raw puts/deletes).
+    pub fn index_ops(&self) -> u64 {
+        self.raw_puts + self.raw_deletes + self.gets + self.get_rows + self.scans
+    }
+}
+
+impl std::ops::Sub for DispatchSnapshot {
+    type Output = DispatchSnapshot;
+    fn sub(self, rhs: DispatchSnapshot) -> DispatchSnapshot {
+        DispatchSnapshot {
+            puts: self.puts - rhs.puts,
+            deletes: self.deletes - rhs.deletes,
+            raw_puts: self.raw_puts - rhs.raw_puts,
+            raw_deletes: self.raw_deletes - rhs.raw_deletes,
+            gets: self.gets - rhs.gets,
+            get_rows: self.get_rows - rhs.get_rows,
+            scans: self.scans - rhs.scans,
+        }
+    }
+}
+
 /// Cluster construction options.
 #[derive(Debug, Clone)]
 pub struct ClusterOptions {
@@ -76,9 +187,10 @@ struct Inner {
     opts: ClusterOptions,
     servers: RwLock<BTreeMap<ServerId, ServerState>>,
     tables: RwLock<HashMap<String, TableState>>,
-    /// Region-level operations issued (a proxy for RPC count: every one of
-    /// these would be a network call in the real deployment).
-    rpcs: AtomicU64,
+    /// Region-level operations issued, counted per op kind at the dispatch
+    /// path (every one of these would be a network call in the real
+    /// deployment).
+    dispatch: DispatchCounters,
     /// Observer registration tokens.
     next_observer_id: AtomicU64,
     /// Shared pool for parallel fan-out: observer dispatch across index
@@ -152,7 +264,7 @@ impl Cluster {
                 opts,
                 servers: RwLock::new(servers),
                 tables: RwLock::new(HashMap::new()),
-                rpcs: AtomicU64::new(0),
+                dispatch: DispatchCounters::default(),
                 next_observer_id: AtomicU64::new(1),
                 fanout: FanoutPool::new_default(),
             }),
@@ -289,8 +401,14 @@ impl Cluster {
     }
 
     /// Route an encoded key to `(region, server clock)`, failing if the
-    /// hosting server is down.
-    fn route(&self, table: &str, enc_key: &[u8]) -> Result<(Arc<Region>, Arc<TimestampOracle>)> {
+    /// hosting server is down. `op` tags the dispatch counter this
+    /// operation lands in.
+    fn route(
+        &self,
+        table: &str,
+        enc_key: &[u8],
+        op: RegionOp,
+    ) -> Result<(Arc<Region>, Arc<TimestampOracle>)> {
         let (region, server) = {
             let tables = self.inner.tables.read();
             let state =
@@ -312,7 +430,7 @@ impl Cluster {
             }
             Arc::clone(&s.clock)
         };
-        self.inner.rpcs.fetch_add(1, Ordering::Relaxed);
+        self.inner.dispatch.bump(op);
         Ok((region, clock))
     }
 
@@ -329,7 +447,7 @@ impl Cluster {
         for (spec, server) in state.map.regions_in_range(start, end) {
             let region =
                 state.regions.get(&spec.id).cloned().ok_or(ClusterError::ServerDown(server))?;
-            self.inner.rpcs.fetch_add(1, Ordering::Relaxed);
+            self.inner.dispatch.bump(RegionOp::Scan);
             out.push(region);
         }
         Ok(out)
@@ -346,7 +464,7 @@ impl Cluster {
     /// wait happens after release, so concurrent puts to one region share
     /// fsyncs.
     pub fn put(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<u64> {
-        let (region, clock) = self.route(table, &row_start(row))?;
+        let (region, clock) = self.route(table, &row_start(row), RegionOp::Put)?;
         let (ts, staged) = {
             let _w = region.write_lock.lock();
             let ts = clock.next();
@@ -378,7 +496,7 @@ impl Cluster {
         type Group = (Arc<Region>, Arc<TimestampOracle>, Vec<usize>);
         let mut groups: BTreeMap<RegionId, Group> = BTreeMap::new();
         for (i, (row, _)) in rows.iter().enumerate() {
-            let (region, clock) = self.route(table, &row_start(row))?;
+            let (region, clock) = self.route(table, &row_start(row), RegionOp::Put)?;
             groups
                 .entry(region.spec.id)
                 .or_insert_with(|| (region, clock, Vec::new()))
@@ -457,7 +575,7 @@ impl Cluster {
         row: &[u8],
         columns: &[ColumnValue],
     ) -> Result<PutOutcome> {
-        let (region, clock) = self.route(table, &row_start(row))?;
+        let (region, clock) = self.route(table, &row_start(row), RegionOp::Put)?;
         let (ts, old_values, staged) = {
             let _w = region.write_lock.lock();
             let mut old_values = Vec::with_capacity(columns.len());
@@ -484,7 +602,7 @@ impl Cluster {
     /// Client delete of the named columns (tombstones with a server-assigned
     /// timestamp), then observer dispatch.
     pub fn delete(&self, table: &str, row: &[u8], columns: &[Bytes]) -> Result<u64> {
-        let (region, clock) = self.route(table, &row_start(row))?;
+        let (region, clock) = self.route(table, &row_start(row), RegionOp::Delete)?;
         let (ts, staged) = {
             let _w = region.write_lock.lock();
             let ts = clock.next();
@@ -548,7 +666,7 @@ impl Cluster {
     /// Index maintenance uses this: an index entry must carry the same
     /// timestamp as the base entry it is associated with (§4.3).
     pub fn raw_put(&self, table: &str, row: &[u8], columns: &[ColumnValue], ts: u64) -> Result<()> {
-        let (region, _clock) = self.route(table, &row_start(row))?;
+        let (region, _clock) = self.route(table, &row_start(row), RegionOp::RawPut)?;
         let cells: Vec<Cell> = columns
             .iter()
             .map(|(col, val)| Cell::put(cell_key(row, col), ts, val.clone()))
@@ -559,7 +677,7 @@ impl Cluster {
 
     /// Internal delete with an explicit timestamp and NO observer dispatch.
     pub fn raw_delete(&self, table: &str, row: &[u8], columns: &[Bytes], ts: u64) -> Result<()> {
-        let (region, _clock) = self.route(table, &row_start(row))?;
+        let (region, _clock) = self.route(table, &row_start(row), RegionOp::RawDelete)?;
         let cells: Vec<Cell> =
             columns.iter().map(|col| Cell::delete(cell_key(row, col), ts)).collect();
         region.engine.write_batch(&cells)?;
@@ -576,7 +694,7 @@ impl Cluster {
         column: &[u8],
         ts: u64,
     ) -> Result<Option<VersionedValue>> {
-        let (region, _clock) = self.route(table, &row_start(row))?;
+        let (region, _clock) = self.route(table, &row_start(row), RegionOp::Get)?;
         Ok(region.engine.get(&cell_key(row, column), ts)?)
     }
 
@@ -591,7 +709,7 @@ impl Cluster {
         column: &[u8],
         ts: u64,
     ) -> Result<Option<(u64, bool)>> {
-        let (region, _clock) = self.route(table, &row_start(row))?;
+        let (region, _clock) = self.route(table, &row_start(row), RegionOp::Get)?;
         Ok(region
             .engine
             .get_versioned(&cell_key(row, column), ts)?
@@ -600,7 +718,7 @@ impl Cluster {
 
     /// Read all columns of one row at snapshot `ts`.
     pub fn get_row(&self, table: &str, row: &[u8], ts: u64) -> Result<Vec<(Bytes, VersionedValue)>> {
-        let (region, _clock) = self.route(table, &row_start(row))?;
+        let (region, _clock) = self.route(table, &row_start(row), RegionOp::GetRow)?;
         let cells = region.engine.scan(&row_start(row), Some(&row_end(row)), ts, usize::MAX)?;
         let mut out = Vec::with_capacity(cells.len());
         for (key, val) in cells {
@@ -859,9 +977,38 @@ impl Cluster {
             .fold(MetricsSnapshot::default(), |a, b| a + b))
     }
 
-    /// Total region-level operations issued (network-call proxy).
+    /// Total region-level operations issued (network-call proxy). Derived
+    /// from the per-op dispatch counters — see [`Cluster::dispatch_metrics`]
+    /// for the breakdown.
     pub fn rpc_count(&self) -> u64 {
-        self.inner.rpcs.load(Ordering::Relaxed)
+        self.inner.dispatch.snapshot().total()
+    }
+
+    /// Per-operation region dispatch counts, measured at the routing choke
+    /// point every operation passes through.
+    pub fn dispatch_metrics(&self) -> DispatchSnapshot {
+        self.inner.dispatch.snapshot()
+    }
+
+    /// A client-cacheable snapshot of `table`'s partition map: for each
+    /// region in key order, its encoded start key, region id, and the
+    /// server currently hosting it. This is what a remote client caches and
+    /// routes by; it goes stale when the master reassigns regions, which the
+    /// client discovers via [`ClusterError::NotServing`].
+    pub fn partition_snapshot(&self, table: &str) -> Result<Vec<(Bytes, RegionId, ServerId)>> {
+        let tables = self.inner.tables.read();
+        let state = tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
+        Ok(state.map.regions().map(|(spec, server)| (spec.start.clone(), spec.id, server)).collect())
+    }
+
+    /// The server currently hosting `row` of `table` (same row-key encoding
+    /// as the data path). Region servers use this to police ownership:
+    /// requests arriving at the wrong server answer
+    /// [`ClusterError::NotServing`] with the real owner.
+    pub fn server_for_row(&self, table: &str, row: &[u8]) -> Result<ServerId> {
+        let tables = self.inner.tables.read();
+        let state = tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
+        Ok(state.map.server_for(&row_start(row)))
     }
 
     /// Number of regions of `table`.
@@ -1205,6 +1352,50 @@ mod tests {
         assert_eq!(m.puts, 20);
         assert_eq!(m.gets, 1);
         assert!(c.rpc_count() >= 21);
+    }
+
+    #[test]
+    fn dispatch_metrics_break_down_by_op() {
+        let dir = TempDir::new("cluster").unwrap();
+        let c = Cluster::new(dir.path(), test_opts(1)).unwrap();
+        c.create_table("t", 2).unwrap();
+        let before = c.dispatch_metrics();
+        c.put("t", b"r", &cols(&[("c", "v")])).unwrap();
+        c.raw_put("t", b"r2", &cols(&[("c", "v")]), 9).unwrap();
+        c.get("t", b"r", b"c", u64::MAX).unwrap();
+        c.get_row("t", b"r", u64::MAX).unwrap();
+        c.delete("t", b"r", &[Bytes::from("c")]).unwrap();
+        c.raw_delete("t", b"r2", &[Bytes::from("c")], 10).unwrap();
+        c.scan_rows("t", b"", None, u64::MAX, 10).unwrap();
+        let d = c.dispatch_metrics() - before;
+        assert_eq!(
+            (d.puts, d.raw_puts, d.gets, d.get_rows, d.deletes, d.raw_deletes, d.scans),
+            (1, 1, 1, 1, 1, 1, 2),
+            "one bump per dispatch; the scan fans out to both regions"
+        );
+        assert_eq!(d.total(), 8);
+        assert_eq!(d.index_ops(), d.total() - d.puts - d.deletes);
+        assert_eq!(c.rpc_count(), c.dispatch_metrics().total());
+    }
+
+    #[test]
+    fn partition_snapshot_routes_like_the_data_path() {
+        let dir = TempDir::new("cluster").unwrap();
+        let c = Cluster::new(dir.path(), test_opts(2)).unwrap();
+        c.create_table("t", 4).unwrap();
+        let snap = c.partition_snapshot("t").unwrap();
+        assert_eq!(snap.len(), 4);
+        assert!(snap[0].0.is_empty(), "first region starts at the empty key");
+        for w in snap.windows(2) {
+            assert!(w[0].0 < w[1].0, "snapshot must be in key order");
+        }
+        // Client-side routing over the snapshot agrees with the server.
+        for row in [&b"a"[..], b"m", b"z", b"\xff\xff", b""] {
+            let enc = row_start(row);
+            let idx = snap.partition_point(|(start, _, _)| start.as_ref() <= enc.as_slice());
+            let client_owner = snap[idx.saturating_sub(1)].2;
+            assert_eq!(client_owner, c.server_for_row("t", row).unwrap());
+        }
     }
 
     #[test]

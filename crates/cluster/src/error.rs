@@ -15,6 +15,43 @@ pub enum ClusterError {
     ServerDown(u32),
     /// Generic unavailability (e.g. operating on a crashed cluster).
     Unavailable(String),
+    /// The contacted region server does not host the target row's region —
+    /// the caller's partition map is stale (HBase's `NotServingRegionException`).
+    /// Carries the server currently hosting the region, so clients can
+    /// refresh their map and re-route.
+    NotServing {
+        /// Server currently hosting the target region.
+        owner: u32,
+    },
+    /// A network request did not complete within its deadline. The outcome
+    /// of the operation is unknown (it may or may not have been applied).
+    Timeout(String),
+    /// Transport-level failure (connection reset, broken pipe, refused).
+    /// Like [`ClusterError::Timeout`], the operation's outcome is unknown.
+    Io(String),
+    /// Malformed or incompatible wire data. Never retryable: resending the
+    /// same bytes cannot help.
+    Protocol(String),
+}
+
+impl ClusterError {
+    /// True for errors a remote client may transparently retry (after
+    /// refreshing its partition map where applicable): the failure is
+    /// transient routing/transport trouble, not a semantic rejection.
+    ///
+    /// `Timeout` and `Io` leave the outcome of the attempt unknown, so only
+    /// idempotent requests should be retried on them — every Diff-Index
+    /// client operation is (puts re-executed with a fresh timestamp converge
+    /// to the same index state, reads are pure).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClusterError::ServerDown(_)
+                | ClusterError::NotServing { .. }
+                | ClusterError::Timeout(_)
+                | ClusterError::Io(_)
+        )
+    }
 }
 
 impl fmt::Display for ClusterError {
@@ -24,6 +61,12 @@ impl fmt::Display for ClusterError {
             ClusterError::NoSuchTable(t) => write!(f, "no such table: {t}"),
             ClusterError::ServerDown(s) => write!(f, "region server {s} is down"),
             ClusterError::Unavailable(m) => write!(f, "unavailable: {m}"),
+            ClusterError::NotServing { owner } => {
+                write!(f, "region not served here (moved to server {owner})")
+            }
+            ClusterError::Timeout(m) => write!(f, "request timed out: {m}"),
+            ClusterError::Io(m) => write!(f, "transport error: {m}"),
+            ClusterError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
 }
@@ -55,8 +98,32 @@ mod tests {
         assert!(ClusterError::NoSuchTable("t".into()).to_string().contains("t"));
         assert!(ClusterError::ServerDown(3).to_string().contains('3'));
         assert!(ClusterError::Unavailable("x".into()).to_string().contains('x'));
+        assert!(ClusterError::NotServing { owner: 7 }.to_string().contains('7'));
+        assert!(ClusterError::Timeout("t".into()).to_string().contains("timed out"));
+        assert!(ClusterError::Io("reset".into()).to_string().contains("reset"));
+        assert!(ClusterError::Protocol("bad".into()).to_string().contains("bad"));
         let e = ClusterError::from(LsmError::Corruption("c".into()));
         assert!(e.to_string().contains("c"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability_partitions_the_taxonomy() {
+        for e in [
+            ClusterError::ServerDown(1),
+            ClusterError::NotServing { owner: 0 },
+            ClusterError::Timeout("slow".into()),
+            ClusterError::Io("reset".into()),
+        ] {
+            assert!(e.is_retryable(), "{e} must be retryable");
+        }
+        for e in [
+            ClusterError::Storage(LsmError::Corruption("c".into())),
+            ClusterError::NoSuchTable("t".into()),
+            ClusterError::Unavailable("u".into()),
+            ClusterError::Protocol("p".into()),
+        ] {
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+        }
     }
 }

@@ -79,6 +79,20 @@ impl FanoutPool {
         Self { shared, workers: handles }
     }
 
+    /// Submit one job without waiting for its completion — fire-and-forget
+    /// dispatch. The network server pipelines per-connection requests this
+    /// way: the connection reader thread keeps decoding frames while queued
+    /// requests execute on the pool. Requires a pool with at least one
+    /// worker (the default pool always has ≥ 2); with zero workers the job
+    /// would only run when some [`FanoutPool::run`] caller steals it.
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        self.shared.queue.lock().push_back(Box::new(job));
+        self.shared.work_cv.notify_all();
+    }
+
     /// Run every task, in parallel where workers are free, and return their
     /// results in task order. The calling thread always executes at least
     /// one task itself and steals queued work while waiting, so this never
@@ -257,6 +271,23 @@ mod tests {
             "fan-out took {:?}, expected parallel execution",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn spawned_jobs_run_without_a_waiting_caller() {
+        let pool = FanoutPool::new(2);
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let hits = Arc::clone(&hits);
+            pool.spawn(move || {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        let t0 = std::time::Instant::now();
+        while hits.load(Ordering::SeqCst) < 16 {
+            assert!(t0.elapsed() < Duration::from_secs(5), "spawned jobs never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod error;
 pub mod fanout;
 pub mod keyspace;
 
-pub use cluster::{Cluster, ClusterOptions, PutOutcome, RowGroup, WeakCluster};
+pub use cluster::{Cluster, ClusterOptions, DispatchSnapshot, PutOutcome, RowGroup, WeakCluster};
 pub use coproc::{ColumnValue, ReplayedOp, TableObserver};
 pub use fanout::FanoutPool;
 pub use error::{ClusterError, Result};

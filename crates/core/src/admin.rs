@@ -1,12 +1,23 @@
 //! The `DiffIndex` facade: index creation (with backfill), maintenance,
 //! lookup, and session handout — the role of the client-side "utility for
 //! index creation, maintenance and cleanse" plus the `getByIndex` API of §7.
+//!
+//! A `DiffIndex` runs over either backend of the [`Store`] abstraction:
+//!
+//! * **local** ([`DiffIndex::new`]): wraps an in-process [`Cluster`];
+//!   `create_index` registers coprocessors and owns the AUQs directly.
+//! * **remote** ([`DiffIndex::over_store`]): wraps any [`Store`] (e.g. a
+//!   `net::RemoteClient`); index *reads* run client-side against the store,
+//!   while index *administration* (`CREATE INDEX`, `DROP INDEX`, quiesce)
+//!   is forwarded to the server hosting the observers. Remote handles carry
+//!   no AUQ — the queue lives server-side.
 
 use crate::error::{IndexError, Result};
 use crate::observers::{AsyncObserver, SyncFullObserver, SyncInsertObserver};
 use crate::read::{self, IndexHit};
 use crate::session::{Session, SessionConfig};
 use crate::spec::{IndexScheme, IndexSpec};
+use crate::store::Store;
 use crate::{auq::Auq, encoding::index_row};
 use bytes::Bytes;
 use diff_index_cluster::Cluster;
@@ -14,15 +25,31 @@ use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One installed index: its spec, the AUQ behind it (every scheme has one —
-/// async schemes for all updates, sync schemes for failure retries), and the
-/// observer registration token.
+/// One installed index: its spec, plus — for locally administered indexes —
+/// the AUQ behind it (every scheme has one: async schemes for all updates,
+/// sync schemes for failure retries) and the observer registration token.
+/// Remote handles are spec-only; their AUQ lives on the server.
 pub struct IndexHandle {
     /// The index definition.
     pub spec: Arc<IndexSpec>,
-    /// Its asynchronous update queue.
-    pub auq: Arc<Auq>,
+    auq: Option<Arc<Auq>>,
     observer_token: u64,
+}
+
+impl IndexHandle {
+    /// The asynchronous update queue, for locally administered indexes.
+    ///
+    /// # Panics
+    /// On a remote handle (the AUQ lives on the server; use
+    /// [`DiffIndex::quiesce`] to wait for it).
+    pub fn auq(&self) -> &Arc<Auq> {
+        self.auq.as_ref().expect("remote index handle has no local AUQ (it lives server-side)")
+    }
+
+    /// The AUQ if this index is administered locally, `None` if remote.
+    pub fn try_auq(&self) -> Option<&Arc<Auq>> {
+        self.auq.as_ref()
+    }
 }
 
 impl std::fmt::Debug for IndexHandle {
@@ -32,7 +59,9 @@ impl std::fmt::Debug for IndexHandle {
 }
 
 struct Inner {
-    cluster: Cluster,
+    store: Arc<dyn Store>,
+    /// Present only for the in-process backend; owns observer registration.
+    local: Option<Cluster>,
     /// base table -> handles.
     indexes: RwLock<HashMap<String, Vec<Arc<IndexHandle>>>>,
     session_config: SessionConfig,
@@ -46,38 +75,72 @@ pub struct DiffIndex {
 
 impl std::fmt::Debug for DiffIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DiffIndex").finish()
+        f.debug_struct("DiffIndex").field("remote", &self.inner.local.is_none()).finish()
     }
 }
 
 impl DiffIndex {
-    /// Wrap a cluster.
+    /// Wrap an in-process cluster.
     pub fn new(cluster: Cluster) -> Self {
         Self::with_session_config(cluster, SessionConfig::default())
     }
 
-    /// Wrap a cluster with custom session limits.
+    /// Wrap an in-process cluster with custom session limits.
     pub fn with_session_config(cluster: Cluster, session_config: SessionConfig) -> Self {
         Self {
             inner: Arc::new(Inner {
-                cluster,
+                store: Arc::new(cluster.clone()),
+                local: Some(cluster),
                 indexes: RwLock::new(HashMap::new()),
                 session_config,
             }),
         }
     }
 
-    /// The wrapped cluster (for base-table CRUD).
+    /// Wrap a remote (or otherwise abstract) store backend. Index reads run
+    /// client-side against `store`; index administration is forwarded via
+    /// the store's `admin_*` methods.
+    pub fn over_store(store: Arc<dyn Store>) -> Self {
+        Self::over_store_with_config(store, SessionConfig::default())
+    }
+
+    /// [`DiffIndex::over_store`] with custom session limits.
+    pub fn over_store_with_config(store: Arc<dyn Store>, session_config: SessionConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                store,
+                local: None,
+                indexes: RwLock::new(HashMap::new()),
+                session_config,
+            }),
+        }
+    }
+
+    /// The wrapped in-process cluster (for base-table CRUD and tests).
+    ///
+    /// # Panics
+    /// On a remote `DiffIndex`; use [`DiffIndex::store`] there.
     pub fn cluster(&self) -> &Cluster {
-        &self.inner.cluster
+        self.inner.local.as_ref().expect("remote DiffIndex has no in-process cluster handle")
+    }
+
+    /// The store backend this instance runs against.
+    pub fn store(&self) -> &Arc<dyn Store> {
+        &self.inner.store
+    }
+
+    /// True if this instance administers indexes in-process.
+    pub fn is_local(&self) -> bool {
+        self.inner.local.is_some()
     }
 
     /// `CREATE INDEX`: create the (global, key-only) index table with
     /// `num_regions` regions, attach the scheme's observer to the base
-    /// table, and backfill entries for pre-existing base rows.
+    /// table, and backfill entries for pre-existing base rows. On a remote
+    /// backend the whole operation executes server-side; the returned
+    /// handle records the spec for client-side reads.
     pub fn create_index(&self, spec: IndexSpec, num_regions: usize) -> Result<Arc<IndexHandle>> {
-        let cluster = &self.inner.cluster;
-        if !cluster.has_table(&spec.base_table) {
+        if !self.inner.store.has_table(&spec.base_table)? {
             return Err(IndexError::Cluster(
                 diff_index_cluster::ClusterError::NoSuchTable(spec.base_table.clone()),
             ));
@@ -91,32 +154,39 @@ impl DiffIndex {
             }
         }
         let spec = Arc::new(spec);
-        cluster.create_table(&spec.index_table(), num_regions)?;
+        let handle = match &self.inner.local {
+            Some(cluster) => {
+                cluster.create_table(&spec.index_table(), num_regions)?;
 
-        // Register the observer BEFORE backfilling so concurrent writes are
-        // not missed; backfill re-writing an entry the observer already
-        // wrote is idempotent (same timestamp).
-        let (observer_token, auq) = match spec.scheme {
-            IndexScheme::SyncFull => {
-                let obs = Arc::new(SyncFullObserver::new(cluster, Arc::clone(&spec)));
-                let auq = Arc::clone(obs.auq());
-                (cluster.register_observer(&spec.base_table, obs)?, auq)
+                // Register the observer BEFORE backfilling so concurrent
+                // writes are not missed; backfill re-writing an entry the
+                // observer already wrote is idempotent (same timestamp).
+                let (observer_token, auq) = match spec.scheme {
+                    IndexScheme::SyncFull => {
+                        let obs = Arc::new(SyncFullObserver::new(cluster, Arc::clone(&spec)));
+                        let auq = Arc::clone(obs.auq());
+                        (cluster.register_observer(&spec.base_table, obs)?, auq)
+                    }
+                    IndexScheme::SyncInsert => {
+                        let obs = Arc::new(SyncInsertObserver::new(cluster, Arc::clone(&spec)));
+                        let auq = Arc::clone(obs.auq());
+                        (cluster.register_observer(&spec.base_table, obs)?, auq)
+                    }
+                    IndexScheme::AsyncSimple | IndexScheme::AsyncSession => {
+                        let obs = Arc::new(AsyncObserver::new(cluster, Arc::clone(&spec)));
+                        let auq = Arc::clone(obs.auq());
+                        (cluster.register_observer(&spec.base_table, obs)?, auq)
+                    }
+                };
+
+                self.backfill(&spec)?;
+                Arc::new(IndexHandle { spec: Arc::clone(&spec), auq: Some(auq), observer_token })
             }
-            IndexScheme::SyncInsert => {
-                let obs = Arc::new(SyncInsertObserver::new(cluster, Arc::clone(&spec)));
-                let auq = Arc::clone(obs.auq());
-                (cluster.register_observer(&spec.base_table, obs)?, auq)
-            }
-            IndexScheme::AsyncSimple | IndexScheme::AsyncSession => {
-                let obs = Arc::new(AsyncObserver::new(cluster, Arc::clone(&spec)));
-                let auq = Arc::clone(obs.auq());
-                (cluster.register_observer(&spec.base_table, obs)?, auq)
+            None => {
+                self.inner.store.admin_create_index(&spec, num_regions)?;
+                Arc::new(IndexHandle { spec: Arc::clone(&spec), auq: None, observer_token: 0 })
             }
         };
-
-        self.backfill(&spec)?;
-
-        let handle = Arc::new(IndexHandle { spec: Arc::clone(&spec), auq, observer_token });
         self.inner
             .indexes
             .write()
@@ -128,9 +198,9 @@ impl DiffIndex {
 
     /// Build index entries for rows that existed before the index did.
     fn backfill(&self, spec: &IndexSpec) -> Result<()> {
-        let cluster = &self.inner.cluster;
+        let store = self.inner.store.as_ref();
         let index_table = spec.index_table();
-        let rows = cluster.scan_rows(&spec.base_table, b"", None, u64::MAX, usize::MAX)?;
+        let rows = store.scan_rows(&spec.base_table, b"", None, u64::MAX, usize::MAX)?;
         for (row, cols) in rows {
             let mut values = Vec::with_capacity(spec.columns.len());
             let mut entry_ts = 0u64;
@@ -148,7 +218,7 @@ impl DiffIndex {
             }
             if values.len() == spec.columns.len() {
                 let key = index_row(&values, &row);
-                cluster.raw_put(&index_table, &key, &[(Bytes::new(), Bytes::new())], entry_ts)?;
+                store.raw_put(&index_table, &key, &[(Bytes::new(), Bytes::new())], entry_ts)?;
             }
         }
         Ok(())
@@ -157,17 +227,24 @@ impl DiffIndex {
     /// `DROP INDEX`: detach the observer and forget the index. (The index
     /// table's files are left for the operator to remove, as HBase does.)
     pub fn drop_index(&self, base_table: &str, name: &str) -> Result<()> {
-        let mut indexes = self.inner.indexes.write();
-        let list = indexes
-            .get_mut(base_table)
-            .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))?;
-        let pos = list
-            .iter()
-            .position(|h| h.spec.name == name)
-            .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))?;
-        let handle = list.remove(pos);
-        self.inner.cluster.unregister_observer(base_table, handle.observer_token)?;
-        handle.auq.shutdown();
+        let handle = {
+            let mut indexes = self.inner.indexes.write();
+            let list = indexes
+                .get_mut(base_table)
+                .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))?;
+            let pos = list
+                .iter()
+                .position(|h| h.spec.name == name)
+                .ok_or_else(|| IndexError::NoSuchIndex(name.to_string()))?;
+            list.remove(pos)
+        };
+        match &self.inner.local {
+            Some(cluster) => {
+                cluster.unregister_observer(base_table, handle.observer_token)?;
+                handle.auq().shutdown();
+            }
+            None => self.inner.store.admin_drop_index(base_table, name)?,
+        }
         Ok(())
     }
 
@@ -196,7 +273,7 @@ impl DiffIndex {
         limit: usize,
     ) -> Result<Vec<IndexHit>> {
         let handle = self.index(base_table, index_name)?;
-        read::read_exact(&self.inner.cluster, &handle.spec, value, limit)
+        read::read_exact(self.inner.store.as_ref(), &handle.spec, value, limit)
     }
 
     /// `getByIndex`, range variant over the indexed column (Figure 9).
@@ -210,7 +287,7 @@ impl DiffIndex {
         limit: usize,
     ) -> Result<Vec<IndexHit>> {
         let handle = self.index(base_table, index_name)?;
-        read::read_range(&self.inner.cluster, &handle.spec, lo, hi, inclusive, limit)
+        read::read_range(self.inner.store.as_ref(), &handle.spec, lo, hi, inclusive, limit)
     }
 
     /// Fetch full base rows for previously returned hits.
@@ -221,7 +298,7 @@ impl DiffIndex {
         hits: &[IndexHit],
     ) -> Result<Vec<diff_index_cluster::RowGroup>> {
         let handle = self.index(base_table, index_name)?;
-        read::fetch_rows(&self.inner.cluster, &handle.spec, hits)
+        read::fetch_rows(self.inner.store.as_ref(), &handle.spec, hits)
     }
 
     /// `get_session()` (§5.2): a client session with read-your-writes
@@ -232,10 +309,15 @@ impl DiffIndex {
 
     /// Block until every AUQ of every index on `base_table` is empty —
     /// i.e. the indexes have caught up with the base (test/bench helper; a
-    /// real deployment would just wait).
+    /// real deployment would just wait). On a remote backend this is one
+    /// round-trip to the server owning the AUQs.
     pub fn quiesce(&self, base_table: &str) {
-        for h in self.indexes_of(base_table) {
-            h.auq.wait_idle();
+        if self.inner.local.is_some() {
+            for h in self.indexes_of(base_table) {
+                h.auq().wait_idle();
+            }
+        } else {
+            let _ = self.inner.store.admin_quiesce(base_table);
         }
     }
 }

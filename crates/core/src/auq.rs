@@ -381,7 +381,7 @@ impl Drop for Auq {
 /// rest (composite indexes) from a snapshot read. `None` if the row is not
 /// fully indexed afterwards.
 pub fn new_index_values(
-    cluster: &Cluster,
+    store: &dyn crate::store::Store,
     spec: &IndexSpec,
     row: &[u8],
     put_columns: &[ColumnValue],
@@ -392,7 +392,7 @@ pub fn new_index_values(
         if let Some((_, v)) = put_columns.iter().find(|(c, _)| c == col) {
             vals.push(v.clone());
         } else {
-            match cluster.get(&spec.base_table, row, col, ts)? {
+            match store.get(&spec.base_table, row, col, ts)? {
                 Some(v) => vals.push(v.value),
                 None => return Ok(None),
             }
@@ -405,14 +405,14 @@ pub fn new_index_values(
 /// Returns `None` unless ALL indexed columns are present (a partially
 /// populated row is not indexed).
 pub fn read_index_values(
-    cluster: &Cluster,
+    store: &dyn crate::store::Store,
     spec: &IndexSpec,
     row: &[u8],
     ts: u64,
 ) -> crate::error::Result<Option<Vec<Bytes>>> {
     let mut vals = Vec::with_capacity(spec.columns.len());
     for col in &spec.columns {
-        match cluster.get(&spec.base_table, row, col, ts)? {
+        match store.get(&spec.base_table, row, col, ts)? {
             Some(v) => vals.push(v.value),
             None => return Ok(None),
         }

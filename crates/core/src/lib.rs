@@ -47,6 +47,7 @@ pub mod observers;
 pub mod read;
 pub mod session;
 pub mod spec;
+pub mod store;
 pub mod verify;
 
 pub use admin::{DiffIndex, IndexHandle};
@@ -57,4 +58,5 @@ pub use read::IndexHit;
 pub use session::{Session, SessionConfig};
 pub use advisor::{recommend, Recommendation, Requirements, WorkloadStats};
 pub use spec::{ConsistencyLevel, IndexScheme, IndexSpec};
+pub use store::Store;
 pub use verify::{cleanse_index, verify_index, Divergence, VerifyReport};

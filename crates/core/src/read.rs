@@ -5,8 +5,8 @@ use crate::auq::read_index_values;
 use crate::encoding::{decode_index_row, value_prefix, value_range};
 use crate::error::Result;
 use crate::spec::{IndexScheme, IndexSpec};
+use crate::store::Store;
 use bytes::Bytes;
-use diff_index_cluster::Cluster;
 
 /// One index hit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,20 +25,20 @@ pub struct IndexHit {
 /// base table and deleted (read-repair); for the other schemes the index is
 /// returned as-is (Table 2 read rows).
 pub fn read_exact(
-    cluster: &Cluster,
+    store: &dyn Store,
     spec: &IndexSpec,
     value: &[u8],
     limit: usize,
 ) -> Result<Vec<IndexHit>> {
     let prefix = value_prefix(value);
-    let raw = scan_index(cluster, spec, &prefix, None, limit)?;
-    apply_scheme_read(cluster, spec, raw, limit)
+    let raw = scan_index(store, spec, &prefix, None, limit)?;
+    apply_scheme_read(store, spec, raw, limit)
 }
 
 /// Range index lookup over the first indexed column: `lo <= v <= hi` when
 /// `inclusive`, else `lo <= v < hi` (the paper's Figure 9 experiment).
 pub fn read_range(
-    cluster: &Cluster,
+    store: &dyn Store,
     spec: &IndexSpec,
     lo: &[u8],
     hi: &[u8],
@@ -46,13 +46,13 @@ pub fn read_range(
     limit: usize,
 ) -> Result<Vec<IndexHit>> {
     let (start, end) = value_range(lo, hi, inclusive);
-    let raw = scan_index(cluster, spec, &start, Some(&end), limit)?;
-    apply_scheme_read(cluster, spec, raw, limit)
+    let raw = scan_index(store, spec, &start, Some(&end), limit)?;
+    apply_scheme_read(store, spec, raw, limit)
 }
 
 /// SR1: scan the index table, decoding each key-only row into a hit.
 fn scan_index(
-    cluster: &Cluster,
+    store: &dyn Store,
     spec: &IndexSpec,
     start: &[u8],
     end: Option<&[u8]>,
@@ -65,8 +65,8 @@ fn scan_index(
         limit
     };
     let rows = match end {
-        None => cluster.scan_rows_prefix(&spec.index_table(), start, u64::MAX, fetch)?,
-        Some(e) => cluster.scan_rows_range(&spec.index_table(), start, Some(e), u64::MAX, fetch)?,
+        None => store.scan_rows_prefix(&spec.index_table(), start, u64::MAX, fetch)?,
+        Some(e) => store.scan_rows_range(&spec.index_table(), start, Some(e), u64::MAX, fetch)?,
     };
     let mut hits = Vec::with_capacity(rows.len());
     for (key, cols) in rows {
@@ -83,7 +83,7 @@ fn scan_index(
 /// the base row; keep the hit if the base still carries the indexed value,
 /// otherwise delete the stale index entry.
 fn apply_scheme_read(
-    cluster: &Cluster,
+    store: &dyn Store,
     spec: &IndexSpec,
     hits: Vec<IndexHit>,
     limit: usize,
@@ -95,7 +95,7 @@ fn apply_scheme_read(
     }
     let mut kept = Vec::with_capacity(hits.len());
     for hit in hits {
-        let current = read_index_values(cluster, spec, &hit.row, u64::MAX)?;
+        let current = read_index_values(store, spec, &hit.row, u64::MAX)?;
         if current.as_ref() == Some(&hit.values) {
             kept.push(hit);
             if kept.len() >= limit {
@@ -104,7 +104,7 @@ fn apply_scheme_read(
         } else {
             // Stale: delete 〈vindex ⊕ k, ts〉 from the index table.
             let stale_key = crate::encoding::index_row(&hit.values, &hit.row);
-            cluster.raw_delete(&spec.index_table(), &stale_key, &[Bytes::new()], hit.ts)?;
+            store.raw_delete(&spec.index_table(), &stale_key, &[Bytes::new()], hit.ts)?;
         }
     }
     Ok(kept)
@@ -112,13 +112,13 @@ fn apply_scheme_read(
 
 /// Convenience: fetch the full base rows for a set of hits.
 pub fn fetch_rows(
-    cluster: &Cluster,
+    store: &dyn Store,
     spec: &IndexSpec,
     hits: &[IndexHit],
 ) -> Result<Vec<diff_index_cluster::RowGroup>> {
     let mut out = Vec::with_capacity(hits.len());
     for h in hits {
-        let row = cluster.get_row(&spec.base_table, &h.row, u64::MAX)?;
+        let row = store.get_row(&spec.base_table, &h.row, u64::MAX)?;
         out.push((h.row.clone(), row));
     }
     Ok(out)

@@ -118,7 +118,7 @@ impl Session {
     pub fn put(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<u64> {
         self.touch()?;
         // The server returns the old values and the assigned timestamp.
-        let outcome = self.di.cluster().put_returning(table, row, columns)?;
+        let outcome = self.di.store().put_returning(table, row, columns)?;
         let handles = self.di.indexes_of(table);
         let mut s = self.state.lock();
         if s.consistency_disabled {
@@ -147,7 +147,7 @@ impl Session {
                         _ => old_complete = false,
                     }
                 } else {
-                    match self.di.cluster().get(table, row, ic, outcome.ts - DELTA)? {
+                    match self.di.store().get(table, row, ic, outcome.ts - DELTA)? {
                         Some(v) => {
                             old_vals.push(v.value.clone());
                             new_vals.push(v.value);

@@ -12,8 +12,8 @@ use crate::auq::read_index_values;
 use crate::encoding::{decode_index_row, index_row};
 use crate::error::Result;
 use crate::spec::IndexSpec;
+use crate::store::Store;
 use bytes::Bytes;
-use diff_index_cluster::Cluster;
 use std::collections::BTreeMap;
 
 /// One divergence between index and base.
@@ -69,13 +69,13 @@ impl VerifyReport {
 
 /// Compare `spec`'s index table against its base table and report every
 /// stale and missing entry. Read-only.
-pub fn verify_index(cluster: &Cluster, spec: &IndexSpec) -> Result<VerifyReport> {
+pub fn verify_index(store: &dyn Store, spec: &IndexSpec) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
     let index_table = spec.index_table();
 
     // Expected index rows from the base table.
     let mut expected: BTreeMap<Bytes, u64> = BTreeMap::new();
-    let rows = cluster.scan_rows(&spec.base_table, b"", None, u64::MAX, usize::MAX)?;
+    let rows = store.scan_rows(&spec.base_table, b"", None, u64::MAX, usize::MAX)?;
     for (row, cols) in rows {
         report.rows_checked += 1;
         let mut values = Vec::with_capacity(spec.columns.len());
@@ -98,7 +98,7 @@ pub fn verify_index(cluster: &Cluster, spec: &IndexSpec) -> Result<VerifyReport>
     }
 
     // Actual index rows.
-    let actual = cluster.scan_rows(&index_table, b"", None, u64::MAX, usize::MAX)?;
+    let actual = store.scan_rows(&index_table, b"", None, u64::MAX, usize::MAX)?;
     let mut seen: BTreeMap<Bytes, u64> = BTreeMap::new();
     for (key, cols) in actual {
         report.entries_checked += 1;
@@ -123,19 +123,19 @@ pub fn verify_index(cluster: &Cluster, spec: &IndexSpec) -> Result<VerifyReport>
 /// Repair every divergence reported by [`verify_index`]: delete stale
 /// entries (at their own timestamp, exactly as read-repair does) and insert
 /// missing ones (at the base entry's timestamp). Returns the repair count.
-pub fn cleanse_index(cluster: &Cluster, spec: &IndexSpec) -> Result<usize> {
-    let report = verify_index(cluster, spec)?;
+pub fn cleanse_index(store: &dyn Store, spec: &IndexSpec) -> Result<usize> {
+    let report = verify_index(store, spec)?;
     let index_table = spec.index_table();
     let n = report.divergences.len();
     for d in report.divergences {
         match d {
             Divergence::Stale { index_row, ts, .. } => {
-                cluster.raw_delete(&index_table, &index_row, &[Bytes::new()], ts)?;
+                store.raw_delete(&index_table, &index_row, &[Bytes::new()], ts)?;
             }
             Divergence::Missing { index_row, base_row, ts } => {
                 // Re-derive the values defensively (the base may have moved
                 // on since the scan) and only insert if still current.
-                if let Some(vals) = read_index_values(cluster, spec, &base_row, u64::MAX)? {
+                if let Some(vals) = read_index_values(store, spec, &base_row, u64::MAX)? {
                     let current = crate::encoding::index_row(&vals, &base_row);
                     if current == index_row {
                         // Administrative repair must out-time whatever
@@ -146,11 +146,11 @@ pub fn cleanse_index(cluster: &Cluster, spec: &IndexSpec) -> Result<usize> {
                         // does this (§4.3); a later base update still
                         // supersedes the repaired entry because its
                         // timestamps are newer still.
-                        let shadow = cluster
+                        let shadow = store
                             .get_cell_versioned(&index_table, &index_row, b"", u64::MAX)?
                             .map(|(sts, _)| sts)
                             .unwrap_or(0);
-                        cluster.raw_put(
+                        store.raw_put(
                             &index_table,
                             &index_row,
                             &[(Bytes::new(), Bytes::new())],
@@ -169,7 +169,7 @@ mod tests {
     use super::*;
     use crate::admin::DiffIndex;
     use crate::spec::IndexScheme;
-    use diff_index_cluster::ClusterOptions;
+    use diff_index_cluster::{Cluster, ClusterOptions};
     use tempdir_lite::TempDir;
 
     fn b(s: &str) -> Bytes {

@@ -49,7 +49,7 @@ fn drain_before_flush_leaves_no_dangling_tasks() {
     let hits = di.get_by_index("item", "title", b"flushme", 100).unwrap();
     assert_eq!(hits.len(), 50, "drain-before-flush must have delivered everything");
     let handle = di.index("item", "title").unwrap();
-    assert_eq!(handle.auq.depth(), 0);
+    assert_eq!(handle.auq().depth(), 0);
 }
 
 #[test]
@@ -70,7 +70,7 @@ fn auto_flush_under_write_pressure_also_drains() {
     assert!(m.flushes >= 1, "write pressure must have flushed");
     di.quiesce("item");
     let handle = di.index("item", "title").unwrap();
-    let am = handle.auq.metrics();
+    let am = handle.auq().metrics();
     let hits = di.get_by_index("item", "title", &[b'x'; 128], 1000).unwrap();
     assert_eq!(
         hits.len(),

@@ -95,7 +95,7 @@ fn sync_full_fans_out_su2_and_repair_in_parallel() {
     let (_d, cluster, di) = setup(IndexScheme::SyncFull);
     put_title(&cluster, "item1", "before");
     put_title(&cluster, "item1", "after");
-    let auq = &di.index("item", "title").unwrap().auq;
+    let auq = std::sync::Arc::clone(di.index("item", "title").unwrap().auq());
     let m = auq.metrics();
     use std::sync::atomic::Ordering;
     let dispatches = m.fanout_dispatches.load(Ordering::Relaxed);
@@ -112,7 +112,7 @@ fn sync_insert_does_not_fan_out() {
     // overhead.
     let (_d, cluster, di) = setup(IndexScheme::SyncInsert);
     put_title(&cluster, "item1", "solo");
-    let auq = &di.index("item", "title").unwrap().auq;
+    let auq = std::sync::Arc::clone(di.index("item", "title").unwrap().auq());
     use std::sync::atomic::Ordering;
     assert_eq!(auq.metrics().fanout_dispatches.load(Ordering::Relaxed), 0);
 }

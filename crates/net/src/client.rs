@@ -1,0 +1,670 @@
+//! The remote store client: routes requests to region servers over TCP,
+//! caches the partition map, and retries transparently — the paper's
+//! "client library" (§2.2) as a [`Store`] implementation, so observers,
+//! AUQ read-repair, sessions and the YCSB driver run unmodified against it.
+//!
+//! ## Routing
+//!
+//! The client bootstraps a **roster** (`server id -> address`) from any
+//! reachable server, then lazily fetches and caches a **partition map** per
+//! table. Row-addressed requests are routed by binary search over region
+//! start keys — the same `partition_point` rule the servers use — so a
+//! fresh map always routes exactly like the server-side data path.
+//!
+//! ## Failure handling
+//!
+//! A request is retried (bounded attempts, exponential backoff) only when
+//! its error [`is retryable`](ClusterError::is_retryable):
+//!
+//! * [`ClusterError::NotServing`] — the cached map is stale (a region
+//!   moved); invalidate it, refetch, re-route.
+//! * [`ClusterError::ServerDown`] — the region's host crashed; invalidate
+//!   and re-route (the master may have reassigned).
+//! * [`ClusterError::Timeout`] / [`ClusterError::Io`] — the outcome of the
+//!   attempt is *unknown*: the connection is discarded (never reused, so a
+//!   straggler response can't be mismatched) and the request re-sent. This
+//!   is safe because every Diff-Index client operation is idempotent:
+//!   re-executing a put converges to the same base and index state (§4.3 —
+//!   the index entry key depends only on value and row, and SU3 skips the
+//!   delete when old == new value).
+//!
+//! Semantic rejections (`NoSuchTable`, `Protocol`, …) are never retried.
+
+use crate::wire::{
+    self, BodyReader, BodyWriter, OpCode, STATUS_ERR, STATUS_OK,
+};
+use bytes::Bytes;
+use diff_index_cluster::encoding::row_start;
+use diff_index_cluster::{ClusterError, ColumnValue, PutOutcome, Result, RowGroup, ServerId};
+use diff_index_core::{IndexSpec, Store};
+use diff_index_lsm::VersionedValue;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct RemoteClientOptions {
+    /// Per-request deadline (connect, send, receive).
+    pub request_timeout: Duration,
+    /// Deadline for index administration requests (`CREATE INDEX` backfills;
+    /// `Quiesce` blocks until AUQs drain), which legitimately run long.
+    pub admin_timeout: Duration,
+    /// Total attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Base backoff between attempts; doubles per retry, capped at 100 ms.
+    pub backoff: Duration,
+    /// Idle pooled connections kept per server address.
+    pub pool_per_addr: usize,
+}
+
+impl Default for RemoteClientOptions {
+    fn default() -> Self {
+        Self {
+            request_timeout: Duration::from_secs(5),
+            admin_timeout: Duration::from_secs(60),
+            max_attempts: 4,
+            backoff: Duration::from_millis(2),
+            pool_per_addr: 4,
+        }
+    }
+}
+
+/// A cached table partition map: `(region start key, owner)` sorted by
+/// start key.
+type TableMap = Arc<Vec<(Bytes, ServerId)>>;
+
+struct ClientInner {
+    bootstrap: Vec<String>,
+    opts: RemoteClientOptions,
+    /// `server id -> address`, refreshed from the servers' shared roster.
+    roster: Mutex<BTreeMap<ServerId, String>>,
+    /// Cached per-table partition maps: `(region start key, owner)` sorted
+    /// by start key. Invalidated wholesale on `NotServing`/`ServerDown`.
+    maps: Mutex<HashMap<String, TableMap>>,
+    /// Idle pooled connections per address. A connection is pooled only
+    /// after a fully successful exchange.
+    pool: Mutex<HashMap<String, Vec<TcpStream>>>,
+    next_id: AtomicU64,
+}
+
+/// A [`Store`] backed by region servers reached over TCP. Cheap to clone;
+/// clones share the connection pool and routing caches.
+#[derive(Clone)]
+pub struct RemoteClient {
+    inner: Arc<ClientInner>,
+}
+
+impl std::fmt::Debug for RemoteClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteClient").field("bootstrap", &self.inner.bootstrap).finish()
+    }
+}
+
+impl RemoteClient {
+    /// Connect to a cluster through one or more bootstrap addresses and
+    /// fetch the initial roster.
+    pub fn connect(bootstrap: Vec<String>, opts: RemoteClientOptions) -> Result<RemoteClient> {
+        assert!(!bootstrap.is_empty(), "need at least one bootstrap address");
+        assert!(opts.max_attempts >= 1, "max_attempts must be at least 1");
+        let client = RemoteClient {
+            inner: Arc::new(ClientInner {
+                bootstrap,
+                opts,
+                roster: Mutex::new(BTreeMap::new()),
+                maps: Mutex::new(HashMap::new()),
+                pool: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+            }),
+        };
+        client.refresh_roster()?;
+        Ok(client)
+    }
+
+    /// [`RemoteClient::connect`] with default options.
+    pub fn connect_default(bootstrap: Vec<String>) -> Result<RemoteClient> {
+        Self::connect(bootstrap, RemoteClientOptions::default())
+    }
+
+    // -- transport -----------------------------------------------------------
+
+    fn checkout(&self, addr: &str) -> Result<TcpStream> {
+        if let Some(conn) = self.inner.pool.lock().get_mut(addr).and_then(Vec::pop) {
+            return Ok(conn);
+        }
+        let sa = addr
+            .parse::<std::net::SocketAddr>()
+            .map_err(|e| ClusterError::Io(format!("bad address {addr}: {e}")))?;
+        let conn = TcpStream::connect_timeout(&sa, self.inner.opts.request_timeout)
+            .map_err(|e| ClusterError::Io(format!("connect {addr}: {e}")))?;
+        let _ = conn.set_nodelay(true);
+        Ok(conn)
+    }
+
+    fn checkin(&self, addr: &str, conn: TcpStream) {
+        let mut pool = self.inner.pool.lock();
+        let conns = pool.entry(addr.to_string()).or_default();
+        if conns.len() < self.inner.opts.pool_per_addr {
+            conns.push(conn);
+        }
+    }
+
+    /// One request/response exchange on one connection, no retries. Any
+    /// failure discards the connection (its stream state is unknown).
+    fn exchange(&self, addr: &str, op: OpCode, body: &[u8], timeout: Duration) -> Result<Bytes> {
+        let mut conn = self.checkout(addr)?;
+        conn.set_read_timeout(Some(timeout))
+            .map_err(|e| ClusterError::Io(format!("set timeout: {e}")))?;
+        let id = self.inner.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = wire::encode_frame(op as u8, id, body);
+        conn.write_all(&frame).map_err(|e| ClusterError::Io(format!("send {addr}: {e}")))?;
+
+        let mut len_buf = [0u8; 4];
+        read_full(&mut conn, &mut len_buf, addr)?;
+        let len = wire::check_frame_len(u32::from_le_bytes(len_buf))?;
+        let mut payload = vec![0u8; len];
+        read_full(&mut conn, &mut payload, addr)?;
+        let resp = wire::decode_frame(&payload)?;
+        if resp.request_id != id {
+            return Err(ClusterError::Protocol(format!(
+                "response id {} for request {id}",
+                resp.request_id
+            )));
+        }
+        let out = match resp.tag {
+            STATUS_OK => Ok(resp.body),
+            STATUS_ERR => Err(wire::decode_error(&resp.body)),
+            t => Err(ClusterError::Protocol(format!("bad status byte {t}"))),
+        };
+        // Pool the connection again only after a clean exchange — an error
+        // response still left the stream frame-aligned.
+        if !matches!(out, Err(ClusterError::Protocol(_))) {
+            self.checkin(addr, conn);
+        }
+        out
+    }
+
+    // -- routing state -------------------------------------------------------
+
+    /// Addresses worth talking to: known roster entries, then bootstrap.
+    fn candidate_addrs(&self) -> Vec<String> {
+        let mut addrs: Vec<String> = self.inner.roster.lock().values().cloned().collect();
+        for b in &self.inner.bootstrap {
+            if !addrs.contains(b) {
+                addrs.push(b.clone());
+            }
+        }
+        addrs
+    }
+
+    fn refresh_roster(&self) -> Result<()> {
+        let mut last = ClusterError::Io("no servers reachable".into());
+        for addr in self.candidate_addrs() {
+            match self.exchange(&addr, OpCode::Roster, &[], self.inner.opts.request_timeout) {
+                Ok(body) => {
+                    let mut r = BodyReader::new(&body);
+                    let n = r.count()?;
+                    let mut roster = BTreeMap::new();
+                    for _ in 0..n {
+                        let id = r.u32()?;
+                        let a = r.str()?;
+                        roster.insert(id, a);
+                    }
+                    r.expect_end()?;
+                    *self.inner.roster.lock() = roster;
+                    return Ok(());
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn fetch_map(&self, table: &str) -> Result<TableMap> {
+        let mut w = BodyWriter::new();
+        w.str(table);
+        let body = self.request_any(OpCode::PartitionMap, &w.finish())?;
+        let mut r = BodyReader::new(&body);
+        let n = r.count()?;
+        let mut map = Vec::with_capacity(n);
+        for _ in 0..n {
+            let start = r.bytes()?;
+            let _region = r.u32()?;
+            let server = r.u32()?;
+            map.push((start, server));
+        }
+        r.expect_end()?;
+        if map.is_empty() {
+            return Err(ClusterError::Protocol(format!("empty partition map for {table}")));
+        }
+        let map = Arc::new(map);
+        self.inner.maps.lock().insert(table.to_string(), Arc::clone(&map));
+        Ok(map)
+    }
+
+    fn map_of(&self, table: &str) -> Result<TableMap> {
+        if let Some(m) = self.inner.maps.lock().get(table) {
+            return Ok(Arc::clone(m));
+        }
+        self.fetch_map(table)
+    }
+
+    /// Drop the cached map (and, cheaply, refresh the roster) after a
+    /// routing error told us it is stale.
+    fn invalidate(&self, table: &str) {
+        self.inner.maps.lock().remove(table);
+        let _ = self.refresh_roster();
+    }
+
+    /// Owner of `row` under the cached map — the client-side mirror of
+    /// `PartitionMap::server_for`: regions are sorted by start key and a
+    /// key belongs to the last region starting at or before it.
+    fn owner_of(&self, table: &str, row: &[u8]) -> Result<ServerId> {
+        let map = self.map_of(table)?;
+        let key = row_start(row);
+        let idx = map.partition_point(|(start, _)| start.as_ref() <= key.as_ref());
+        Ok(map[idx.saturating_sub(1)].1)
+    }
+
+    fn addr_of(&self, server: ServerId) -> Result<String> {
+        if let Some(a) = self.inner.roster.lock().get(&server) {
+            return Ok(a.clone());
+        }
+        self.refresh_roster()?;
+        self.inner
+            .roster
+            .lock()
+            .get(&server)
+            .cloned()
+            .ok_or_else(|| ClusterError::Io(format!("no address for server {server}")))
+    }
+
+    fn backoff(&self, attempt: u32) {
+        let base = self.inner.opts.backoff.max(Duration::from_micros(100));
+        let wait = base.saturating_mul(1 << attempt.min(6)).min(Duration::from_millis(100));
+        std::thread::sleep(wait);
+    }
+
+    // -- retry wrappers ------------------------------------------------------
+
+    /// Row-addressed request: route by cached map, retry with invalidation
+    /// on routing staleness and with plain re-send on ambiguous transport
+    /// failures (see module docs for why that is safe).
+    fn request_routed(&self, table: &str, row: &[u8], op: OpCode, body: &[u8]) -> Result<Bytes> {
+        let mut last = None;
+        for attempt in 0..self.inner.opts.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            let target = self.owner_of(table, row).and_then(|owner| self.addr_of(owner));
+            let addr = match target {
+                Ok(a) => a,
+                Err(e) if e.is_retryable() => {
+                    self.invalidate(table);
+                    last = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match self.exchange(&addr, op, body, self.inner.opts.request_timeout) {
+                Ok(b) => return Ok(b),
+                Err(e) if e.is_retryable() => {
+                    if matches!(
+                        e,
+                        ClusterError::NotServing { .. } | ClusterError::ServerDown(_)
+                    ) {
+                        self.invalidate(table);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClusterError::Io("request retries exhausted".into())))
+    }
+
+    /// Location-independent request (scans, table/index admin, metadata):
+    /// any server acts as gateway; rotate through servers on failure.
+    fn request_any_with_timeout(
+        &self,
+        op: OpCode,
+        body: &[u8],
+        timeout: Duration,
+    ) -> Result<Bytes> {
+        let mut last = None;
+        for attempt in 0..self.inner.opts.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            let addrs = self.candidate_addrs();
+            if addrs.is_empty() {
+                return Err(ClusterError::Io("no known servers".into()));
+            }
+            let addr = &addrs[attempt as usize % addrs.len()];
+            match self.exchange(addr, op, body, timeout) {
+                Ok(b) => return Ok(b),
+                Err(e) if e.is_retryable() => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClusterError::Io("request retries exhausted".into())))
+    }
+
+    fn request_any(&self, op: OpCode, body: &[u8]) -> Result<Bytes> {
+        self.request_any_with_timeout(op, body, self.inner.opts.request_timeout)
+    }
+
+    /// Liveness probe against any server.
+    pub fn ping(&self) -> Result<()> {
+        self.request_any(OpCode::Ping, &[]).map(|_| ())
+    }
+}
+
+fn read_full(conn: &mut TcpStream, buf: &mut [u8], addr: &str) -> Result<()> {
+    let mut read = 0usize;
+    while read < buf.len() {
+        match conn.read(&mut buf[read..]) {
+            Ok(0) => {
+                return Err(ClusterError::Io(format!("{addr}: connection closed mid-response")))
+            }
+            Ok(n) => read += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(ClusterError::Timeout(format!("{addr}: no response within deadline")))
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(ClusterError::Io(format!("{addr}: {e}"))),
+        }
+    }
+    Ok(())
+}
+
+fn decode_scan(body: &[u8]) -> Result<Vec<RowGroup>> {
+    let mut r = BodyReader::new(body);
+    let n = r.count()?;
+    let mut rows = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push(r.row_group()?);
+    }
+    r.expect_end()?;
+    Ok(rows)
+}
+
+fn decode_u64(body: &[u8]) -> Result<u64> {
+    let mut r = BodyReader::new(body);
+    let v = r.u64()?;
+    r.expect_end()?;
+    Ok(v)
+}
+
+fn expect_empty(body: &[u8]) -> Result<()> {
+    BodyReader::new(body).expect_end()
+}
+
+impl Store for RemoteClient {
+    fn put(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<u64> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).columns(columns);
+        decode_u64(&self.request_routed(table, row, OpCode::Put, &w.finish())?)
+    }
+
+    fn put_batch(&self, table: &str, rows: &[(Bytes, Vec<ColumnValue>)]) -> Result<Vec<u64>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group rows by owning server and send one PutBatch per server; rows
+        // of a group that fails retryably stay pending and are re-grouped
+        // (the map may have changed) on the next attempt. Timestamps are
+        // stitched back together in input order.
+        let mut stamps = vec![0u64; rows.len()];
+        let mut pending: Vec<usize> = (0..rows.len()).collect();
+        let mut last = None;
+        for attempt in 0..self.inner.opts.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            let mut groups: HashMap<ServerId, Vec<usize>> = HashMap::new();
+            let mut routing_failed = Vec::new();
+            for &i in &pending {
+                match self.owner_of(table, &rows[i].0) {
+                    Ok(owner) => groups.entry(owner).or_default().push(i),
+                    Err(e) if e.is_retryable() => {
+                        self.invalidate(table);
+                        last = Some(e);
+                        routing_failed.push(i);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            let mut still_pending = routing_failed;
+            for (owner, idxs) in groups {
+                let mut w = BodyWriter::new();
+                w.str(table).u32(idxs.len() as u32);
+                for &i in &idxs {
+                    w.bytes(&rows[i].0).columns(&rows[i].1);
+                }
+                let outcome = self
+                    .addr_of(owner)
+                    .and_then(|addr| {
+                        self.exchange(
+                            &addr,
+                            OpCode::PutBatch,
+                            &w.finish(),
+                            self.inner.opts.request_timeout,
+                        )
+                    })
+                    .and_then(|body| {
+                        let mut r = BodyReader::new(&body);
+                        let n = r.count()?;
+                        if n != idxs.len() {
+                            return Err(ClusterError::Protocol(format!(
+                                "batch returned {n} stamps for {} rows",
+                                idxs.len()
+                            )));
+                        }
+                        let mut ts = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            ts.push(r.u64()?);
+                        }
+                        r.expect_end()?;
+                        Ok(ts)
+                    });
+                match outcome {
+                    Ok(ts) => {
+                        for (&i, t) in idxs.iter().zip(ts) {
+                            stamps[i] = t;
+                        }
+                    }
+                    Err(e) if e.is_retryable() => {
+                        if matches!(
+                            e,
+                            ClusterError::NotServing { .. } | ClusterError::ServerDown(_)
+                        ) {
+                            self.invalidate(table);
+                        }
+                        last = Some(e);
+                        still_pending.extend(idxs);
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            pending = still_pending;
+            if pending.is_empty() {
+                return Ok(stamps);
+            }
+        }
+        Err(last.unwrap_or_else(|| ClusterError::Io("batch retries exhausted".into())))
+    }
+
+    fn put_returning(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<PutOutcome> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).columns(columns);
+        wire::decode_put_outcome(&self.request_routed(table, row, OpCode::PutReturning, &w.finish())?)
+    }
+
+    fn delete(&self, table: &str, row: &[u8], columns: &[Bytes]) -> Result<u64> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).names(columns);
+        decode_u64(&self.request_routed(table, row, OpCode::Delete, &w.finish())?)
+    }
+
+    fn raw_put(&self, table: &str, row: &[u8], columns: &[ColumnValue], ts: u64) -> Result<()> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).columns(columns).u64(ts);
+        expect_empty(&self.request_routed(table, row, OpCode::RawPut, &w.finish())?)
+    }
+
+    fn raw_delete(&self, table: &str, row: &[u8], columns: &[Bytes], ts: u64) -> Result<()> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).names(columns).u64(ts);
+        expect_empty(&self.request_routed(table, row, OpCode::RawDelete, &w.finish())?)
+    }
+
+    fn get(&self, table: &str, row: &[u8], column: &[u8], ts: u64) -> Result<Option<VersionedValue>> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).bytes(column).u64(ts);
+        let body = self.request_routed(table, row, OpCode::Get, &w.finish())?;
+        let mut r = BodyReader::new(&body);
+        let out = match r.u8()? {
+            0 => None,
+            1 => Some(r.versioned()?),
+            t => return Err(ClusterError::Protocol(format!("bad option tag {t}"))),
+        };
+        r.expect_end()?;
+        Ok(out)
+    }
+
+    fn get_cell_versioned(
+        &self,
+        table: &str,
+        row: &[u8],
+        column: &[u8],
+        ts: u64,
+    ) -> Result<Option<(u64, bool)>> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).bytes(column).u64(ts);
+        let body = self.request_routed(table, row, OpCode::GetCellVersioned, &w.finish())?;
+        let mut r = BodyReader::new(&body);
+        let out = match r.u8()? {
+            0 => None,
+            1 => {
+                let cts = r.u64()?;
+                let tomb = r.u8()? != 0;
+                Some((cts, tomb))
+            }
+            t => return Err(ClusterError::Protocol(format!("bad option tag {t}"))),
+        };
+        r.expect_end()?;
+        Ok(out)
+    }
+
+    fn get_row(&self, table: &str, row: &[u8], ts: u64) -> Result<Vec<(Bytes, VersionedValue)>> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row).u64(ts);
+        let body = self.request_routed(table, row, OpCode::GetRow, &w.finish())?;
+        let mut r = BodyReader::new(&body);
+        let n = r.count()?;
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = r.bytes()?;
+            let v = r.versioned()?;
+            cols.push((c, v));
+        }
+        r.expect_end()?;
+        Ok(cols)
+    }
+
+    fn scan_rows(
+        &self,
+        table: &str,
+        start_row: &[u8],
+        end_row: Option<&[u8]>,
+        ts: u64,
+        limit: usize,
+    ) -> Result<Vec<RowGroup>> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(start_row).opt_bytes(end_row).u64(ts).u64(limit as u64);
+        decode_scan(&self.request_any(OpCode::ScanRows, &w.finish())?)
+    }
+
+    fn scan_rows_prefix(
+        &self,
+        table: &str,
+        row_prefix: &[u8],
+        ts: u64,
+        limit: usize,
+    ) -> Result<Vec<RowGroup>> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(row_prefix).u64(ts).u64(limit as u64);
+        decode_scan(&self.request_any(OpCode::ScanRowsPrefix, &w.finish())?)
+    }
+
+    fn scan_rows_range(
+        &self,
+        table: &str,
+        start_row: &[u8],
+        end_row: Option<&[u8]>,
+        ts: u64,
+        limit: usize,
+    ) -> Result<Vec<RowGroup>> {
+        let mut w = BodyWriter::new();
+        w.str(table).bytes(start_row).opt_bytes(end_row).u64(ts).u64(limit as u64);
+        decode_scan(&self.request_any(OpCode::ScanRowsRange, &w.finish())?)
+    }
+
+    fn create_table(&self, name: &str, num_regions: usize) -> Result<()> {
+        let mut w = BodyWriter::new();
+        w.str(name).u32(num_regions as u32);
+        expect_empty(&self.request_any(OpCode::CreateTable, &w.finish())?)
+    }
+
+    fn has_table(&self, table: &str) -> Result<bool> {
+        let mut w = BodyWriter::new();
+        w.str(table);
+        let body = self.request_any(OpCode::HasTable, &w.finish())?;
+        let mut r = BodyReader::new(&body);
+        let v = r.u8()? != 0;
+        r.expect_end()?;
+        Ok(v)
+    }
+
+    fn flush_table(&self, table: &str) -> Result<()> {
+        let mut w = BodyWriter::new();
+        w.str(table);
+        expect_empty(&self.request_any(OpCode::FlushTable, &w.finish())?)
+    }
+
+    fn admin_create_index(&self, spec: &IndexSpec, num_regions: usize) -> Result<()> {
+        let mut w = BodyWriter::new();
+        wire::encode_index_spec(&mut w, spec);
+        w.u32(num_regions as u32);
+        expect_empty(&self.request_any_with_timeout(
+            OpCode::CreateIndex,
+            &w.finish(),
+            self.inner.opts.admin_timeout,
+        )?)
+    }
+
+    fn admin_drop_index(&self, base_table: &str, name: &str) -> Result<()> {
+        let mut w = BodyWriter::new();
+        w.str(base_table).str(name);
+        expect_empty(&self.request_any_with_timeout(
+            OpCode::DropIndex,
+            &w.finish(),
+            self.inner.opts.admin_timeout,
+        )?)
+    }
+
+    fn admin_quiesce(&self, base_table: &str) -> Result<()> {
+        let mut w = BodyWriter::new();
+        w.str(base_table);
+        expect_empty(&self.request_any_with_timeout(
+            OpCode::Quiesce,
+            &w.finish(),
+            self.inner.opts.admin_timeout,
+        )?)
+    }
+}

@@ -1,0 +1,605 @@
+//! The region-server network frontend: one TCP listener per region server,
+//! serving the wire protocol of [`crate::wire`] against an in-process
+//! [`Cluster`].
+//!
+//! ## Topology
+//!
+//! The repo's `Cluster` simulates N region servers inside one process; the
+//! network layer gives each of them a real listener. A [`ServerGroup`]
+//! binds one [`Server`] per cluster `ServerId` on loopback, all sharing the
+//! cluster and one [`DiffIndex`] (for server-side index administration —
+//! observers and AUQs live next to the data, as coprocessors do in HBase).
+//! Each server *polices ownership*: a row-addressed request for a region
+//! it does not host is rejected with [`ClusterError::NotServing`] carrying
+//! the current owner, exactly like HBase's `NotServingRegionException` —
+//! that is what drives client partition-map invalidation.
+//!
+//! ## Threading
+//!
+//! One accept thread per server; one reader thread per connection. A reader
+//! decodes frames and hands each request to the cluster's existing
+//! [`FanoutPool`](diff_index_cluster::FanoutPool) without waiting for the
+//! result, so a connection can carry many requests in flight (pipelining);
+//! responses carry the request id and may complete out of order. Writes to
+//! a connection are serialized by a per-connection mutex.
+//!
+//! ## Shutdown
+//!
+//! [`Server::shutdown`] is graceful and ordered: stop accepting, stop
+//! reading new frames, then **drain** — every request already dispatched
+//! writes its response before `shutdown` returns. Only after that may the
+//! caller stop AUQ workers and drop the cluster, so a client can never
+//! observe an acknowledged write that the store subsequently forgot.
+
+use crate::metrics::{NetMetrics, NetMetricsSnapshot};
+use crate::wire::{
+    self, BodyReader, BodyWriter, OpCode, STATUS_ERR, STATUS_OK,
+};
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterError, Result, ServerId};
+use diff_index_core::{DiffIndex, IndexError};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a connection reader blocks on the socket before re-checking the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Shared `server id -> address` registry. Every [`Server`] of a group
+/// registers itself here at bind time; clients bootstrap their routing
+/// state from it via the `Roster` opcode (the stand-in for HBase's META).
+#[derive(Clone, Default)]
+pub struct Roster {
+    inner: Arc<Mutex<BTreeMap<ServerId, String>>>,
+}
+
+impl Roster {
+    /// Empty roster.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a server's address.
+    pub fn insert(&self, id: ServerId, addr: String) {
+        self.inner.lock().insert(id, addr);
+    }
+
+    /// All `(server id, address)` pairs.
+    pub fn entries(&self) -> Vec<(ServerId, String)> {
+        self.inner.lock().iter().map(|(k, v)| (*k, v.clone())).collect()
+    }
+}
+
+struct Inner {
+    di: DiffIndex,
+    /// The cluster server id this listener fronts; `None` serves every
+    /// region (single-listener gateway mode, no ownership policing).
+    served_id: Option<ServerId>,
+    roster: Roster,
+    addr: SocketAddr,
+    shutdown: AtomicBool,
+    /// Requests dispatched but not yet responded to.
+    inflight: AtomicUsize,
+    metrics: NetMetrics,
+    /// Fault injection: when set, the next completed request's response is
+    /// discarded and its connection destroyed — the request *was* applied,
+    /// the client just never learns. Exercises ambiguous-ack retries.
+    drop_next_response: AtomicBool,
+    conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A TCP frontend for one region server of an in-process cluster.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.inner.addr)
+            .field("served_id", &self.inner.served_id)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind a listener on `addr` (use `127.0.0.1:0` for an ephemeral port)
+    /// fronting `di`'s cluster, and register it in `roster`. `served_id`
+    /// scopes ownership policing; `None` makes this a serve-anything
+    /// gateway.
+    pub fn start(
+        di: DiffIndex,
+        addr: &str,
+        served_id: Option<ServerId>,
+        roster: Roster,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        roster.insert(served_id.unwrap_or(0), local.to_string());
+        let inner = Arc::new(Inner {
+            di,
+            served_id,
+            roster,
+            addr: local,
+            shutdown: AtomicBool::new(false),
+            inflight: AtomicUsize::new(0),
+            metrics: NetMetrics::default(),
+            drop_next_response: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_inner = Arc::clone(&inner);
+        let accept = std::thread::Builder::new()
+            .name(format!("net-accept-{}", served_id.unwrap_or(0)))
+            .spawn(move || accept_loop(&accept_inner, listener))?;
+        Ok(Server { inner, accept: Mutex::new(Some(accept)) })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Per-opcode request/byte/latency metrics.
+    pub fn metrics(&self) -> NetMetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Fault injection: make the next completed request drop its response
+    /// and kill its connection (the request itself still executes). See
+    /// [`Inner::drop_next_response`]'s semantics in the module docs.
+    pub fn drop_next_response(&self) {
+        self.inner.drop_next_response.store(true, Ordering::SeqCst);
+    }
+
+    /// Graceful, ordered shutdown: stop accepting, stop reading frames,
+    /// drain every dispatched request (responses written) and only then
+    /// return. Idempotent. Call this *before* tearing down AUQ workers or
+    /// the cluster.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            // Another caller already shut down (or is doing so); just wait
+            // for the drain below.
+        }
+        // The accept loop blocks in accept(); poke it with a throwaway
+        // connection so it observes the flag.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(h) = self.accept.lock().take() {
+            let _ = h.join();
+        }
+        // Connection readers observe the flag within READ_POLL and exit;
+        // responses for frames they already dispatched are still written
+        // because each dispatched job owns a clone of its socket.
+        let handles: Vec<_> = self.inner.conns.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        while self.inner.inflight.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One listener per region server of `di`'s cluster, all on loopback
+/// ephemeral ports, sharing one roster — the standard multi-server
+/// topology for tests and loopback benchmarks.
+pub struct ServerGroup {
+    servers: Vec<Server>,
+    roster: Roster,
+}
+
+impl ServerGroup {
+    /// Start a listener for every live server of the cluster.
+    pub fn start(di: &DiffIndex) -> std::io::Result<ServerGroup> {
+        let roster = Roster::new();
+        let mut servers = Vec::new();
+        for sid in di.cluster().servers() {
+            servers.push(Server::start(di.clone(), "127.0.0.1:0", Some(sid), roster.clone())?);
+        }
+        Ok(ServerGroup { servers, roster })
+    }
+
+    /// Addresses of every listener (bootstrap list for a client).
+    pub fn addrs(&self) -> Vec<String> {
+        self.servers.iter().map(|s| s.addr().to_string()).collect()
+    }
+
+    /// The shared roster.
+    pub fn roster(&self) -> &Roster {
+        &self.roster
+    }
+
+    /// The servers, in cluster `ServerId` order.
+    pub fn servers(&self) -> &[Server] {
+        &self.servers
+    }
+
+    /// Merged metrics across all listeners.
+    pub fn metrics(&self) -> Vec<NetMetricsSnapshot> {
+        self.servers.iter().map(|s| s.metrics()).collect()
+    }
+
+    /// Shut every listener down gracefully (drains in-flight requests).
+    pub fn shutdown(&self) {
+        for s in &self.servers {
+            s.shutdown();
+        }
+    }
+}
+
+fn accept_loop(inner: &Arc<Inner>, listener: TcpListener) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_inner = Arc::clone(inner);
+        let h = std::thread::Builder::new()
+            .name("net-conn".into())
+            .spawn(move || conn_loop(&conn_inner, stream))
+            .expect("spawn connection thread");
+        inner.conns.lock().push(h);
+    }
+}
+
+/// Outcome of trying to read one full frame.
+enum ReadFrame {
+    Frame(Vec<u8>),
+    /// Peer closed, or shutdown requested while idle / mid-frame.
+    Done,
+}
+
+fn read_frame(stream: &mut TcpStream, inner: &Inner) -> std::io::Result<ReadFrame> {
+    let mut len_buf = [0u8; 4];
+    if !read_full(stream, &mut len_buf, inner)? {
+        return Ok(ReadFrame::Done);
+    }
+    let len = match wire::check_frame_len(u32::from_le_bytes(len_buf)) {
+        Ok(l) => l,
+        Err(_) => {
+            // Unframeable garbage: nothing else on this connection can be
+            // trusted either.
+            return Err(std::io::Error::new(ErrorKind::InvalidData, "bad frame length"));
+        }
+    };
+    let mut payload = vec![0u8; len];
+    if !read_full(stream, &mut payload, inner)? {
+        return Ok(ReadFrame::Done);
+    }
+    Ok(ReadFrame::Frame(payload))
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read timeouts (used to poll
+/// the shutdown flag). Returns `false` on clean EOF before the first byte
+/// or when shutdown is requested.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], inner: &Inner) -> std::io::Result<bool> {
+    let mut read = 0usize;
+    while read < buf.len() {
+        match stream.read(&mut buf[read..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => read += n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn conn_loop(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(Mutex::new(w)),
+        Err(_) => return,
+    };
+    loop {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let payload = match read_frame(&mut stream, inner) {
+            Ok(ReadFrame::Frame(p)) => p,
+            Ok(ReadFrame::Done) => return,
+            Err(_) => return,
+        };
+        let bytes_in = (4 + payload.len()) as u64;
+        let frame = match wire::decode_frame(&payload) {
+            Ok(f) => f,
+            Err(e) => {
+                // Header unreadable: answer with request id 0 and give up on
+                // the stream (framing may be corrupt).
+                let resp = wire::encode_frame(STATUS_ERR, 0, &wire::encode_error(&e));
+                let _ = writer.lock().write_all(&resp);
+                return;
+            }
+        };
+        let Some(op) = OpCode::from_u8(frame.tag) else {
+            let e = ClusterError::Protocol(format!("unknown opcode 0x{:02x}", frame.tag));
+            let resp = wire::encode_frame(STATUS_ERR, frame.request_id, &wire::encode_error(&e));
+            let _ = writer.lock().write_all(&resp);
+            continue;
+        };
+        // Pipelined dispatch: hand the request to the cluster's fan-out
+        // pool and go straight back to reading the next frame. The response
+        // is written (out of order if need be) under the writer mutex.
+        inner.inflight.fetch_add(1, Ordering::AcqRel);
+        let job_inner = Arc::clone(inner);
+        let job_writer = Arc::clone(&writer);
+        inner.di.cluster().fanout().spawn(move || {
+            let guard = InflightGuard(&job_inner.inflight);
+            let t0 = Instant::now();
+            let result = handle(&job_inner, op, &frame.body);
+            let (status, body) = match &result {
+                Ok(b) => (STATUS_OK, b.clone()),
+                Err(e) => (STATUS_ERR, wire::encode_error(e)),
+            };
+            let resp = wire::encode_frame(status, frame.request_id, &body);
+            if job_inner.drop_next_response.swap(false, Ordering::SeqCst) {
+                // Fault injection: the request executed, but the client
+                // never hears back — its retry must be harmless.
+                let w = job_writer.lock();
+                let _ = w.shutdown(Shutdown::Both);
+            } else {
+                let mut w = job_writer.lock();
+                let _ = w.write_all(&resp);
+            }
+            job_inner.metrics.record(
+                op,
+                bytes_in,
+                resp.len() as u64,
+                t0.elapsed().as_micros() as u64,
+                status == STATUS_ERR,
+            );
+            drop(guard);
+        });
+    }
+}
+
+/// Decrements the in-flight counter when the dispatch job finishes, even if
+/// request handling panics — otherwise `shutdown()` would hang forever.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Reject row-addressed requests for regions this listener does not host.
+fn check_owner(inner: &Inner, cluster: &Cluster, table: &str, row: &[u8]) -> Result<()> {
+    if let Some(me) = inner.served_id {
+        let owner = cluster.server_for_row(table, row)?;
+        if owner != me {
+            return Err(ClusterError::NotServing { owner });
+        }
+    }
+    Ok(())
+}
+
+fn index_err(e: IndexError) -> ClusterError {
+    match e {
+        IndexError::Cluster(c) => c,
+        other => ClusterError::Unavailable(other.to_string()),
+    }
+}
+
+/// Execute one decoded request against the cluster and encode its response
+/// body. Scans and table/index administration are *not* ownership-policed:
+/// any server acts as a gateway for multi-region operations, mirroring how
+/// the repo's in-process client fans scans out itself.
+fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
+    let cluster = inner.di.cluster();
+    let mut r = BodyReader::new(body);
+    let mut w = BodyWriter::new();
+    match op {
+        OpCode::Ping => {
+            r.expect_end()?;
+        }
+        OpCode::Roster => {
+            r.expect_end()?;
+            let entries = inner.roster.entries();
+            w.u32(entries.len() as u32);
+            for (id, addr) in entries {
+                w.u32(id).str(&addr);
+            }
+        }
+        OpCode::PartitionMap => {
+            let table = r.str()?;
+            r.expect_end()?;
+            let snap = cluster.partition_snapshot(&table)?;
+            w.u32(snap.len() as u32);
+            for (start, region, server) in snap {
+                w.bytes(&start).u32(region).u32(server);
+            }
+        }
+        OpCode::Put => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let cols = r.columns()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            w.u64(cluster.put(&table, &row, &cols)?);
+        }
+        OpCode::PutBatch => {
+            let table = r.str()?;
+            let n = r.count()?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let row = r.bytes()?;
+                let cols = r.columns()?;
+                rows.push((row, cols));
+            }
+            r.expect_end()?;
+            // Police the whole batch before applying any of it, so a
+            // misrouted batch is rejected atomically.
+            for (row, _) in &rows {
+                check_owner(inner, cluster, &table, row)?;
+            }
+            let stamps = cluster.put_batch(&table, &rows)?;
+            w.u32(stamps.len() as u32);
+            for ts in stamps {
+                w.u64(ts);
+            }
+        }
+        OpCode::PutReturning => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let cols = r.columns()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            let outcome = cluster.put_returning(&table, &row, &cols)?;
+            return Ok(wire::encode_put_outcome(&outcome));
+        }
+        OpCode::Delete => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let cols = r.names()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            w.u64(cluster.delete(&table, &row, &cols)?);
+        }
+        OpCode::RawPut => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let cols = r.columns()?;
+            let ts = r.u64()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            cluster.raw_put(&table, &row, &cols, ts)?;
+        }
+        OpCode::RawDelete => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let cols = r.names()?;
+            let ts = r.u64()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            cluster.raw_delete(&table, &row, &cols, ts)?;
+        }
+        OpCode::Get => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let col = r.bytes()?;
+            let ts = r.u64()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            match cluster.get(&table, &row, &col, ts)? {
+                None => {
+                    w.u8(0);
+                }
+                Some(v) => {
+                    w.u8(1).versioned(&v);
+                }
+            }
+        }
+        OpCode::GetCellVersioned => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let col = r.bytes()?;
+            let ts = r.u64()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            match cluster.get_cell_versioned(&table, &row, &col, ts)? {
+                None => {
+                    w.u8(0);
+                }
+                Some((cts, tomb)) => {
+                    w.u8(1).u64(cts).u8(tomb as u8);
+                }
+            }
+        }
+        OpCode::GetRow => {
+            let table = r.str()?;
+            let row = r.bytes()?;
+            let ts = r.u64()?;
+            r.expect_end()?;
+            check_owner(inner, cluster, &table, &row)?;
+            let cols = cluster.get_row(&table, &row, ts)?;
+            w.u32(cols.len() as u32);
+            for (c, v) in cols {
+                w.bytes(&c).versioned(&v);
+            }
+        }
+        OpCode::ScanRows | OpCode::ScanRowsRange => {
+            let table = r.str()?;
+            let start = r.bytes()?;
+            let end = r.opt_bytes()?;
+            let ts = r.u64()?;
+            let limit = r.u64()? as usize;
+            r.expect_end()?;
+            let rows = if op == OpCode::ScanRows {
+                cluster.scan_rows(&table, &start, end.as_deref(), ts, limit)?
+            } else {
+                cluster.scan_rows_range(&table, &start, end.as_deref(), ts, limit)?
+            };
+            w.u32(rows.len() as u32);
+            for rg in &rows {
+                w.row_group(rg);
+            }
+        }
+        OpCode::ScanRowsPrefix => {
+            let table = r.str()?;
+            let prefix = r.bytes()?;
+            let ts = r.u64()?;
+            let limit = r.u64()? as usize;
+            r.expect_end()?;
+            let rows = cluster.scan_rows_prefix(&table, &prefix, ts, limit)?;
+            w.u32(rows.len() as u32);
+            for rg in &rows {
+                w.row_group(rg);
+            }
+        }
+        OpCode::CreateTable => {
+            let name = r.str()?;
+            let regions = r.u32()? as usize;
+            r.expect_end()?;
+            cluster.create_table(&name, regions)?;
+        }
+        OpCode::HasTable => {
+            let name = r.str()?;
+            r.expect_end()?;
+            w.u8(cluster.has_table(&name) as u8);
+        }
+        OpCode::FlushTable => {
+            let name = r.str()?;
+            r.expect_end()?;
+            cluster.flush_table(&name)?;
+        }
+        OpCode::CreateIndex => {
+            let spec = wire::decode_index_spec(&mut r)?;
+            let regions = r.u32()? as usize;
+            r.expect_end()?;
+            inner.di.create_index(spec, regions).map_err(index_err)?;
+        }
+        OpCode::DropIndex => {
+            let base = r.str()?;
+            let name = r.str()?;
+            r.expect_end()?;
+            inner.di.drop_index(&base, &name).map_err(index_err)?;
+        }
+        OpCode::Quiesce => {
+            let base = r.str()?;
+            r.expect_end()?;
+            inner.di.quiesce(&base);
+        }
+    }
+    Ok(w.finish())
+}

@@ -1,0 +1,722 @@
+//! The Diff-Index wire protocol: compact, length-prefixed binary frames.
+//!
+//! ## Frame layout (all integers little-endian)
+//!
+//! ```text
+//! request:  [u32 len][u8 version=1][u8 opcode][u64 request_id][body]
+//! response: [u32 len][u8 version=1][u8 status][u64 request_id][body]
+//! ```
+//!
+//! `len` counts everything after itself (version byte onward). The version
+//! byte leads every frame so the format can evolve; a peer speaking an
+//! unknown version is rejected with a `Protocol` error before any body
+//! bytes are interpreted. `request_id` is chosen by the client and echoed
+//! verbatim, which lets a connection carry pipelined requests whose
+//! responses arrive out of order.
+//!
+//! `status` is `0` for success (body is the op-specific result) or `1` for
+//! failure (body is an encoded [`ClusterError`]).
+//!
+//! ## Body primitives
+//!
+//! Variable-length byte strings are `[u32 len][bytes]`; optionals are a
+//! `u8` tag (0 = none, 1 = some); lists are `[u32 count][items]`. Row keys
+//! travel *raw* — the order-preserving escaping of `cluster::encoding` is a
+//! storage-key concern and is applied server-side, so the wire stays free
+//! of double-escaping bugs.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use diff_index_cluster::{ClusterError, ColumnValue, PutOutcome, Result, RowGroup};
+use diff_index_core::{IndexScheme, IndexSpec};
+use diff_index_lsm::VersionedValue;
+
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on a frame's `len` field (16 MiB): a corrupt or hostile length
+/// prefix must not trigger an unbounded allocation.
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Response status: success.
+pub const STATUS_OK: u8 = 0;
+/// Response status: body carries an encoded error.
+pub const STATUS_ERR: u8 = 1;
+
+/// Request opcodes. Grouped by nibble: `0x0_` control, `0x1_` writes,
+/// `0x2_` reads, `0x3_` tables, `0x4_` index administration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum OpCode {
+    /// Liveness probe; empty body both ways.
+    Ping = 0x01,
+    /// Fetch the server roster: `(server_id, addr)` pairs.
+    Roster = 0x02,
+    /// Fetch a table's partition map: `(region_start, region_id, server_id)`.
+    PartitionMap = 0x03,
+    /// Client put (observers run).
+    Put = 0x10,
+    /// Batched client put.
+    PutBatch = 0x11,
+    /// Put returning replaced values (§5.2 session client).
+    PutReturning = 0x12,
+    /// Client delete.
+    Delete = 0x13,
+    /// Index-table put at an explicit timestamp (no observers).
+    RawPut = 0x14,
+    /// Index-table delete at an explicit timestamp (no observers).
+    RawDelete = 0x15,
+    /// Point read of one column.
+    Get = 0x20,
+    /// Newest cell incl. tombstones: `(ts, is_tombstone)`.
+    GetCellVersioned = 0x21,
+    /// All columns of one row.
+    GetRow = 0x22,
+    /// Row scan with row-boundary semantics.
+    ScanRows = 0x23,
+    /// Row scan by row-key prefix.
+    ScanRowsPrefix = 0x24,
+    /// Row scan under plain byte order (index range reads).
+    ScanRowsRange = 0x25,
+    /// Create a pre-split table.
+    CreateTable = 0x30,
+    /// Table existence check.
+    HasTable = 0x31,
+    /// Flush every region of a table.
+    FlushTable = 0x32,
+    /// `CREATE INDEX` executed server-side (observers + backfill).
+    CreateIndex = 0x40,
+    /// `DROP INDEX` executed server-side.
+    DropIndex = 0x41,
+    /// Block until the AUQs behind a base table's indexes are empty.
+    Quiesce = 0x42,
+}
+
+impl OpCode {
+    /// Decode an opcode byte.
+    pub fn from_u8(b: u8) -> Option<Self> {
+        use OpCode::*;
+        Some(match b {
+            0x01 => Ping,
+            0x02 => Roster,
+            0x03 => PartitionMap,
+            0x10 => Put,
+            0x11 => PutBatch,
+            0x12 => PutReturning,
+            0x13 => Delete,
+            0x14 => RawPut,
+            0x15 => RawDelete,
+            0x20 => Get,
+            0x21 => GetCellVersioned,
+            0x22 => GetRow,
+            0x23 => ScanRows,
+            0x24 => ScanRowsPrefix,
+            0x25 => ScanRowsRange,
+            0x30 => CreateTable,
+            0x31 => HasTable,
+            0x32 => FlushTable,
+            0x40 => CreateIndex,
+            0x41 => DropIndex,
+            0x42 => Quiesce,
+            _ => return None,
+        })
+    }
+
+    /// Stable human name (metrics labels, logs).
+    pub fn name(self) -> &'static str {
+        use OpCode::*;
+        match self {
+            Ping => "ping",
+            Roster => "roster",
+            PartitionMap => "partition_map",
+            Put => "put",
+            PutBatch => "put_batch",
+            PutReturning => "put_returning",
+            Delete => "delete",
+            RawPut => "raw_put",
+            RawDelete => "raw_delete",
+            Get => "get",
+            GetCellVersioned => "get_cell_versioned",
+            GetRow => "get_row",
+            ScanRows => "scan_rows",
+            ScanRowsPrefix => "scan_rows_prefix",
+            ScanRowsRange => "scan_rows_range",
+            CreateTable => "create_table",
+            HasTable => "has_table",
+            FlushTable => "flush_table",
+            CreateIndex => "create_index",
+            DropIndex => "drop_index",
+            Quiesce => "quiesce",
+        }
+    }
+
+    /// Every defined opcode, for metrics iteration.
+    pub fn all() -> &'static [OpCode] {
+        use OpCode::*;
+        &[
+            Ping,
+            Roster,
+            PartitionMap,
+            Put,
+            PutBatch,
+            PutReturning,
+            Delete,
+            RawPut,
+            RawDelete,
+            Get,
+            GetCellVersioned,
+            GetRow,
+            ScanRows,
+            ScanRowsPrefix,
+            ScanRowsRange,
+            CreateTable,
+            HasTable,
+            FlushTable,
+            CreateIndex,
+            DropIndex,
+            Quiesce,
+        ]
+    }
+}
+
+/// One decoded frame header + body (shared shape for requests and
+/// responses; `tag` is the opcode or the status byte respectively).
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Opcode (request) or status (response).
+    pub tag: u8,
+    /// Client-chosen correlation id, echoed by the server.
+    pub request_id: u64,
+    /// Op-specific payload.
+    pub body: Bytes,
+}
+
+/// Serialize a frame. `tag` is the opcode for requests, the status for
+/// responses.
+pub fn encode_frame(tag: u8, request_id: u64, body: &[u8]) -> Bytes {
+    let len = 1 + 1 + 8 + body.len();
+    let mut out = BytesMut::with_capacity(4 + len);
+    out.put_slice(&(len as u32).to_le_bytes());
+    out.put_u8(VERSION);
+    out.put_u8(tag);
+    out.put_slice(&request_id.to_le_bytes());
+    out.put_slice(body);
+    out.freeze()
+}
+
+/// Parse the payload of a frame whose 4-byte length prefix has already been
+/// consumed and validated. Rejects unknown versions and short frames.
+pub fn decode_frame(payload: &[u8]) -> Result<Frame> {
+    if payload.len() < 10 {
+        return Err(ClusterError::Protocol(format!("frame too short: {} bytes", payload.len())));
+    }
+    if payload[0] != VERSION {
+        return Err(ClusterError::Protocol(format!(
+            "unsupported protocol version {} (speaking {VERSION})",
+            payload[0]
+        )));
+    }
+    let tag = payload[1];
+    let request_id = u64::from_le_bytes(payload[2..10].try_into().expect("8 bytes"));
+    Ok(Frame { tag, request_id, body: Bytes::copy_from_slice(&payload[10..]) })
+}
+
+/// Validate a frame's length prefix before allocating its buffer.
+pub fn check_frame_len(len: u32) -> Result<usize> {
+    if len < 10 {
+        return Err(ClusterError::Protocol(format!("frame length {len} below header size")));
+    }
+    if len > MAX_FRAME {
+        return Err(ClusterError::Protocol(format!("frame length {len} exceeds {MAX_FRAME}")));
+    }
+    Ok(len as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Body writer/reader primitives
+// ---------------------------------------------------------------------------
+
+/// Growable body encoder.
+#[derive(Default)]
+pub struct BodyWriter {
+    buf: BytesMut,
+}
+
+impl BodyWriter {
+    /// Fresh writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish and take the encoded bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Append a `u8`.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(&(v.len() as u32).to_le_bytes());
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Append an optional byte string (`u8` tag + bytes when present).
+    pub fn opt_bytes(&mut self, v: Option<&[u8]>) -> &mut Self {
+        match v {
+            None => self.u8(0),
+            Some(b) => {
+                self.u8(1);
+                self.bytes(b)
+            }
+        }
+    }
+
+    /// Append the column list of a put.
+    pub fn columns(&mut self, cols: &[ColumnValue]) -> &mut Self {
+        self.u32(cols.len() as u32);
+        for (c, v) in cols {
+            self.bytes(c).bytes(v);
+        }
+        self
+    }
+
+    /// Append a list of column names.
+    pub fn names(&mut self, cols: &[Bytes]) -> &mut Self {
+        self.u32(cols.len() as u32);
+        for c in cols {
+            self.bytes(c);
+        }
+        self
+    }
+
+    /// Append a `VersionedValue`.
+    pub fn versioned(&mut self, v: &VersionedValue) -> &mut Self {
+        self.u64(v.ts).bytes(&v.value)
+    }
+
+    /// Append a full row group: `row`, then `(column, versioned)` pairs.
+    pub fn row_group(&mut self, (row, cols): &RowGroup) -> &mut Self {
+        self.bytes(row).u32(cols.len() as u32);
+        for (c, v) in cols {
+            self.bytes(c).versioned(v);
+        }
+        self
+    }
+}
+
+/// Cursor-style body decoder; every read is bounds-checked and malformed
+/// input surfaces as [`ClusterError::Protocol`].
+pub struct BodyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| ClusterError::Protocol("truncated body".into()))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// The body must be fully consumed; trailing garbage is an error.
+    pub fn expect_end(&self) -> Result<()> {
+        if self.pos != self.buf.len() {
+            return Err(ClusterError::Protocol(format!(
+                "{} trailing bytes after body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Bytes> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME as usize {
+            return Err(ClusterError::Protocol(format!("byte string length {len} too large")));
+        }
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| ClusterError::Protocol("invalid UTF-8 string".into()))
+    }
+
+    /// Read an optional byte string.
+    pub fn opt_bytes(&mut self) -> Result<Option<Bytes>> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.bytes()?)),
+            t => Err(ClusterError::Protocol(format!("bad option tag {t}"))),
+        }
+    }
+
+    /// Read a bounded list count (guards allocation on corrupt counts).
+    pub fn count(&mut self) -> Result<usize> {
+        let n = self.u32()? as usize;
+        // Each item needs at least one byte of encoding; a count larger than
+        // the remaining body is unconditionally malformed.
+        if n > self.buf.len().saturating_sub(self.pos) {
+            return Err(ClusterError::Protocol(format!("list count {n} exceeds body")));
+        }
+        Ok(n)
+    }
+
+    /// Read a put column list.
+    pub fn columns(&mut self) -> Result<Vec<ColumnValue>> {
+        let n = self.count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = self.bytes()?;
+            let v = self.bytes()?;
+            out.push((c, v));
+        }
+        Ok(out)
+    }
+
+    /// Read a list of column names.
+    pub fn names(&mut self) -> Result<Vec<Bytes>> {
+        let n = self.count()?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.bytes()?);
+        }
+        Ok(out)
+    }
+
+    /// Read a `VersionedValue`.
+    pub fn versioned(&mut self) -> Result<VersionedValue> {
+        let ts = self.u64()?;
+        let value = self.bytes()?;
+        Ok(VersionedValue { value, ts })
+    }
+
+    /// Read a full row group.
+    pub fn row_group(&mut self) -> Result<RowGroup> {
+        let row = self.bytes()?;
+        let n = self.count()?;
+        let mut cols = Vec::with_capacity(n);
+        for _ in 0..n {
+            let c = self.bytes()?;
+            let v = self.versioned()?;
+            cols.push((c, v));
+        }
+        Ok((row, cols))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Error body codec
+// ---------------------------------------------------------------------------
+
+/// Encode a [`ClusterError`] as an error-response body: `[u8 code]` +
+/// code-specific payload. `Storage` flattens to `Unavailable` — the engine's
+/// error detail is a server-side concern; the client only needs to know the
+/// request failed non-retryably with a message.
+pub fn encode_error(e: &ClusterError) -> Bytes {
+    let mut w = BodyWriter::new();
+    match e {
+        ClusterError::NoSuchTable(t) => {
+            w.u8(1).str(t);
+        }
+        ClusterError::ServerDown(s) => {
+            w.u8(2).u32(*s);
+        }
+        ClusterError::NotServing { owner } => {
+            w.u8(3).u32(*owner);
+        }
+        ClusterError::Timeout(m) => {
+            w.u8(4).str(m);
+        }
+        ClusterError::Io(m) => {
+            w.u8(5).str(m);
+        }
+        ClusterError::Protocol(m) => {
+            w.u8(6).str(m);
+        }
+        ClusterError::Unavailable(m) => {
+            w.u8(7).str(m);
+        }
+        ClusterError::Storage(e) => {
+            w.u8(7).str(&format!("storage: {e}"));
+        }
+    }
+    w.finish()
+}
+
+/// Decode an error-response body back into a [`ClusterError`].
+pub fn decode_error(body: &[u8]) -> ClusterError {
+    fn inner(body: &[u8]) -> Result<ClusterError> {
+        let mut r = BodyReader::new(body);
+        let e = match r.u8()? {
+            1 => ClusterError::NoSuchTable(r.str()?),
+            2 => ClusterError::ServerDown(r.u32()?),
+            3 => ClusterError::NotServing { owner: r.u32()? },
+            4 => ClusterError::Timeout(r.str()?),
+            5 => ClusterError::Io(r.str()?),
+            6 => ClusterError::Protocol(r.str()?),
+            7 => ClusterError::Unavailable(r.str()?),
+            c => return Err(ClusterError::Protocol(format!("unknown error code {c}"))),
+        };
+        r.expect_end()?;
+        Ok(e)
+    }
+    inner(body).unwrap_or_else(|e| e)
+}
+
+// ---------------------------------------------------------------------------
+// Composite codecs shared by client and server
+// ---------------------------------------------------------------------------
+
+/// Encode a [`PutOutcome`] response body.
+pub fn encode_put_outcome(o: &PutOutcome) -> Bytes {
+    let mut w = BodyWriter::new();
+    w.u64(o.ts).u32(o.old_values.len() as u32);
+    for (c, old) in &o.old_values {
+        w.bytes(c);
+        match old {
+            None => {
+                w.u8(0);
+            }
+            Some(v) => {
+                w.u8(1).versioned(v);
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decode a [`PutOutcome`] response body.
+pub fn decode_put_outcome(body: &[u8]) -> Result<PutOutcome> {
+    let mut r = BodyReader::new(body);
+    let ts = r.u64()?;
+    let n = r.count()?;
+    let mut old_values = Vec::with_capacity(n);
+    for _ in 0..n {
+        let c = r.bytes()?;
+        let old = match r.u8()? {
+            0 => None,
+            1 => Some(r.versioned()?),
+            t => return Err(ClusterError::Protocol(format!("bad option tag {t}"))),
+        };
+        old_values.push((c, old));
+    }
+    r.expect_end()?;
+    Ok(PutOutcome { ts, old_values })
+}
+
+/// Encode an [`IndexSpec`] (for `CreateIndex`).
+pub fn encode_index_spec(w: &mut BodyWriter, spec: &IndexSpec) {
+    w.str(&spec.name).str(&spec.base_table).names(&spec.columns).u8(match spec.scheme {
+        IndexScheme::SyncFull => 0,
+        IndexScheme::SyncInsert => 1,
+        IndexScheme::AsyncSimple => 2,
+        IndexScheme::AsyncSession => 3,
+    });
+}
+
+/// Decode an [`IndexSpec`].
+pub fn decode_index_spec(r: &mut BodyReader<'_>) -> Result<IndexSpec> {
+    let name = r.str()?;
+    let base_table = r.str()?;
+    let columns = r.names()?;
+    let scheme = match r.u8()? {
+        0 => IndexScheme::SyncFull,
+        1 => IndexScheme::SyncInsert,
+        2 => IndexScheme::AsyncSimple,
+        3 => IndexScheme::AsyncSession,
+        s => return Err(ClusterError::Protocol(format!("unknown index scheme {s}"))),
+    };
+    Ok(IndexSpec { name, base_table, columns, scheme })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = encode_frame(OpCode::Put as u8, 42, b"body");
+        let len = u32::from_le_bytes(f[0..4].try_into().unwrap());
+        assert_eq!(check_frame_len(len).unwrap(), f.len() - 4);
+        let dec = decode_frame(&f[4..]).unwrap();
+        assert_eq!(dec.tag, OpCode::Put as u8);
+        assert_eq!(dec.request_id, 42);
+        assert_eq!(&dec.body[..], b"body");
+    }
+
+    #[test]
+    fn frame_rejects_bad_version_and_short_frames() {
+        let mut f = encode_frame(0x10, 1, b"").to_vec();
+        f[4] = 9; // version byte
+        assert!(matches!(decode_frame(&f[4..]), Err(ClusterError::Protocol(_))));
+        assert!(matches!(decode_frame(&[1, 2, 3]), Err(ClusterError::Protocol(_))));
+        assert!(check_frame_len(3).is_err());
+        assert!(check_frame_len(MAX_FRAME + 1).is_err());
+    }
+
+    #[test]
+    fn body_primitives_roundtrip() {
+        let mut w = BodyWriter::new();
+        w.u8(7).u32(1234).u64(u64::MAX).bytes(b"abc").str("täble").opt_bytes(None).opt_bytes(
+            Some(&b"x\x00y"[..]),
+        );
+        let b = w.finish();
+        let mut r = BodyReader::new(&b);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 1234);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert_eq!(&r.bytes().unwrap()[..], b"abc");
+        assert_eq!(r.str().unwrap(), "täble");
+        assert_eq!(r.opt_bytes().unwrap(), None);
+        assert_eq!(&r.opt_bytes().unwrap().unwrap()[..], b"x\x00y");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reader_rejects_truncation_and_trailing_bytes() {
+        let mut w = BodyWriter::new();
+        w.bytes(b"hello");
+        let b = w.finish();
+        // Truncate mid-string:
+        let mut r = BodyReader::new(&b[..6]);
+        assert!(r.bytes().is_err());
+        // Trailing garbage:
+        let mut long = b.to_vec();
+        long.push(0xAA);
+        let mut r = BodyReader::new(&long);
+        r.bytes().unwrap();
+        assert!(r.expect_end().is_err());
+        // Absurd list count must not allocate:
+        let mut w = BodyWriter::new();
+        w.u32(u32::MAX);
+        let b = w.finish();
+        assert!(BodyReader::new(&b).count().is_err());
+    }
+
+    #[test]
+    fn error_codec_roundtrips_every_variant() {
+        let errors = [
+            ClusterError::NoSuchTable("t".into()),
+            ClusterError::ServerDown(3),
+            ClusterError::NotServing { owner: 7 },
+            ClusterError::Timeout("slow".into()),
+            ClusterError::Io("reset".into()),
+            ClusterError::Protocol("bad".into()),
+            ClusterError::Unavailable("u".into()),
+        ];
+        for e in errors {
+            let decoded = decode_error(&encode_error(&e));
+            assert_eq!(decoded.to_string(), e.to_string());
+            assert_eq!(decoded.is_retryable(), e.is_retryable());
+        }
+        // Storage flattens to Unavailable (non-retryable), not a panic:
+        let s = ClusterError::Storage(diff_index_lsm::LsmError::Corruption("c".into()));
+        let d = decode_error(&encode_error(&s));
+        assert!(matches!(d, ClusterError::Unavailable(_)));
+        assert!(!d.is_retryable());
+    }
+
+    #[test]
+    fn put_outcome_roundtrip() {
+        let o = PutOutcome {
+            ts: 99,
+            old_values: vec![
+                (Bytes::from("a"), None),
+                (Bytes::from("b"), Some(VersionedValue { value: Bytes::from("old"), ts: 42 })),
+            ],
+        };
+        let d = decode_put_outcome(&encode_put_outcome(&o)).unwrap();
+        assert_eq!(d.ts, 99);
+        assert_eq!(d.old_values.len(), 2);
+        assert_eq!(d.old_values[0], (Bytes::from("a"), None));
+        assert_eq!(d.old_values[1].1.as_ref().unwrap().ts, 42);
+    }
+
+    #[test]
+    fn index_spec_roundtrip() {
+        for scheme in [
+            IndexScheme::SyncFull,
+            IndexScheme::SyncInsert,
+            IndexScheme::AsyncSimple,
+            IndexScheme::AsyncSession,
+        ] {
+            let spec = IndexSpec {
+                name: "by_x".into(),
+                base_table: "t".into(),
+                columns: vec![Bytes::from("x"), Bytes::from("y")],
+                scheme,
+            };
+            let mut w = BodyWriter::new();
+            encode_index_spec(&mut w, &spec);
+            let b = w.finish();
+            let mut r = BodyReader::new(&b);
+            let d = decode_index_spec(&mut r).unwrap();
+            r.expect_end().unwrap();
+            assert_eq!(d.name, spec.name);
+            assert_eq!(d.base_table, spec.base_table);
+            assert_eq!(d.columns, spec.columns);
+            assert_eq!(d.scheme, spec.scheme);
+        }
+    }
+
+    #[test]
+    fn opcode_byte_roundtrip_and_names_unique() {
+        let mut names = std::collections::HashSet::new();
+        for &op in OpCode::all() {
+            assert_eq!(OpCode::from_u8(op as u8), Some(op));
+            assert!(names.insert(op.name()), "duplicate opcode name {}", op.name());
+        }
+        assert_eq!(OpCode::from_u8(0xEE), None);
+    }
+}

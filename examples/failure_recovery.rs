@@ -34,8 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "wrote 100 rows; AUQ depth before crash: {} (enqueued {})",
-        handle.auq.depth(),
-        handle.auq.metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed),
+        handle.auq().depth(),
+        handle.auq().metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed),
     );
 
     // Phase 2: crash server 0. Its memtables (base AND index regions) are
@@ -65,7 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(di.get_by_index("item", "by_title", b"post-crash", 10)?.len(), 1);
     println!("post-recovery writes indexed correctly ✓");
 
-    let m = handle.auq.metrics();
+    let m = handle.auq().metrics();
     println!(
         "AUQ totals: enqueued={} completed={} retries={} dropped={}",
         m.enqueued.load(std::sync::atomic::Ordering::Relaxed),

@@ -11,9 +11,12 @@
 //! * [`btree`] — the B+Tree baseline (Table 1).
 //! * [`sim`] — the discrete-event cluster simulator behind the figures.
 //! * [`ycsb`] — the extended YCSB workload generator.
+//! * [`net`] — the TCP wire protocol, region-server frontend, and remote
+//!   store client.
 pub use diff_index_btree as btree;
 pub use diff_index_cluster as cluster;
 pub use diff_index_core as core;
 pub use diff_index_lsm as lsm;
+pub use diff_index_net as net;
 pub use diff_index_sim as sim;
 pub use diff_index_ycsb as ycsb;

@@ -188,7 +188,7 @@ fn simulated_cluster_and_real_cluster_share_scheme_semantics() {
     assert_eq!(di.get_by_index("item", "full", b"va", 10).unwrap().len(), 1);
     // async: work went through the AUQ; eventually visible.
     assert_eq!(
-        handle.auq.metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed),
+        handle.auq().metrics().enqueued.load(std::sync::atomic::Ordering::Relaxed),
         1
     );
     di.quiesce("item");
