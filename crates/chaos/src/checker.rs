@@ -1,0 +1,304 @@
+//! Consistency checkers: turn a recorded [`History`] plus the final store
+//! state into a verdict.
+//!
+//! The model is deliberately simple because the harness issues operations
+//! from a single thread and region timestamp oracles are monotonic (and
+//! advanced past replayed state on recovery): for each cell, the legal
+//! final values are exactly
+//!
+//! > { value of the last **acked** write } ∪ { value of every **ambiguous**
+//! > write issued after it }
+//!
+//! An acked write must never be lost (it was durable before the ack); an
+//! ambiguous write — one whose client saw an error — may or may not have
+//! been applied, and if several applied, the latest-issued one wins.
+
+use bytes::Bytes;
+use diff_index_core::{
+    verify_index, DiffIndex, History, IndexScheme, IndexSpec, Store, WriteKind, WriteOutcome,
+};
+use std::collections::BTreeMap;
+
+/// One consistency violation found by a checker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which checker fired.
+    pub check: &'static str,
+    /// Human-readable description of what diverged.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.check, self.detail)
+    }
+}
+
+/// The legal final contents of one cell: `None` = absent (deleted or never
+/// written), `Some(v)` = value `v`.
+pub type AllowedValues = Vec<Option<Bytes>>;
+
+/// Fold the history into the per-row set of allowed final values for
+/// `column` of `table`.
+pub fn allowed_final_values(
+    history: &History,
+    table: &str,
+    column: &[u8],
+) -> BTreeMap<Bytes, AllowedValues> {
+    struct Cell {
+        last_acked: Option<Option<Bytes>>,
+        ambiguous: Vec<Option<Bytes>>,
+    }
+    let mut cells: BTreeMap<Bytes, Cell> = BTreeMap::new();
+    for rec in history.snapshot() {
+        if rec.table != table {
+            continue;
+        }
+        let written: Option<Option<Bytes>> = match &rec.kind {
+            WriteKind::Put { columns } => {
+                columns.iter().find(|(c, _)| c.as_ref() == column).map(|(_, v)| Some(v.clone()))
+            }
+            WriteKind::Delete { columns } => {
+                columns.iter().find(|c| c.as_ref() == column).map(|_| None)
+            }
+        };
+        let Some(value) = written else { continue };
+        let cell = cells
+            .entry(rec.row.clone())
+            .or_insert(Cell { last_acked: None, ambiguous: Vec::new() });
+        match &rec.outcome {
+            WriteOutcome::Acked { .. } => {
+                cell.last_acked = Some(value);
+                cell.ambiguous.clear();
+            }
+            WriteOutcome::Ambiguous { .. } => cell.ambiguous.push(value),
+        }
+    }
+    cells
+        .into_iter()
+        .map(|(row, cell)| {
+            // No acked write ⇒ the initial state (absent) is also legal.
+            let mut allowed = vec![cell.last_acked.unwrap_or(None)];
+            for v in cell.ambiguous {
+                if !allowed.contains(&v) {
+                    allowed.push(v);
+                }
+            }
+            (row, allowed)
+        })
+        .collect()
+}
+
+fn fmt_val(v: &Option<Bytes>) -> String {
+    match v {
+        Some(b) => String::from_utf8_lossy(b).into_owned(),
+        None => "<absent>".into(),
+    }
+}
+
+/// **No lost acked writes**: the final value of every cell must be one the
+/// history allows, and no row the history never wrote may exist.
+pub fn check_final_state(
+    store: &dyn Store,
+    history: &History,
+    table: &str,
+    column: &[u8],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let model = allowed_final_values(history, table, column);
+    for (row, allowed) in &model {
+        let actual = match store.get(table, row, column, u64::MAX) {
+            Ok(v) => v.map(|vv| vv.value),
+            Err(e) => {
+                violations.push(Violation {
+                    check: "final-state",
+                    detail: format!("read of row {:?} failed after quiesce: {e}", row),
+                });
+                continue;
+            }
+        };
+        if !allowed.contains(&actual) {
+            violations.push(Violation {
+                check: "final-state",
+                detail: format!(
+                    "row {:?}: final value {} not in allowed set {{{}}} (lost acked write?)",
+                    row,
+                    fmt_val(&actual),
+                    allowed.iter().map(fmt_val).collect::<Vec<_>>().join(", ")
+                ),
+            });
+        }
+    }
+    match store.scan_rows(table, b"", None, u64::MAX, usize::MAX) {
+        Ok(rows) => {
+            for (row, cols) in rows {
+                if cols.iter().any(|(c, _)| c.as_ref() == column) && !model.contains_key(&row) {
+                    violations.push(Violation {
+                        check: "final-state",
+                        detail: format!("phantom row {:?}: present but never written", row),
+                    });
+                }
+            }
+        }
+        Err(e) => violations.push(Violation {
+            check: "final-state",
+            detail: format!("base scan failed after quiesce: {e}"),
+        }),
+    }
+    violations
+}
+
+/// **Index/base agreement after quiesce** via [`verify_index`]: missing
+/// entries are a violation for every scheme; stale entries for every scheme
+/// except `sync-insert`, which leaves them by design (read-repair and
+/// `cleanse_index` remove them lazily, §4.2).
+pub fn check_index_agreement(
+    store: &dyn Store,
+    spec: &IndexSpec,
+    scheme: IndexScheme,
+) -> Vec<Violation> {
+    let report = match verify_index(store, spec) {
+        Ok(r) => r,
+        Err(e) => {
+            return vec![Violation {
+                check: "verify-index",
+                detail: format!("verify_index failed: {e}"),
+            }]
+        }
+    };
+    let mut violations = Vec::new();
+    if report.missing_count() > 0 {
+        violations.push(Violation {
+            check: "verify-index",
+            detail: format!(
+                "{} base row(s) missing from the index after quiesce: {:?}",
+                report.missing_count(),
+                report.divergences
+            ),
+        });
+    }
+    if report.stale_count() > 0 && scheme != IndexScheme::SyncInsert {
+        violations.push(Violation {
+            check: "verify-index",
+            detail: format!(
+                "{} stale index entr(ies) after quiesce under {:?}: {:?}",
+                report.stale_count(),
+                scheme,
+                report.divergences
+            ),
+        });
+    }
+    violations
+}
+
+/// **Convergence**: after quiesce, exact-match `getByIndex` agrees with the
+/// base table for every value of the alphabet, under every scheme
+/// (`sync-insert` converges through read-repair at this point).
+pub fn check_read_agreement(
+    di: &DiffIndex,
+    store: &dyn Store,
+    base_table: &str,
+    index_name: &str,
+    column: &[u8],
+    values: &[Bytes],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let rows = match store.scan_rows(base_table, b"", None, u64::MAX, usize::MAX) {
+        Ok(r) => r,
+        Err(e) => {
+            return vec![Violation {
+                check: "read-agreement",
+                detail: format!("base scan failed: {e}"),
+            }]
+        }
+    };
+    let mut by_value: BTreeMap<Bytes, Vec<Bytes>> = BTreeMap::new();
+    for (row, cols) in rows {
+        if let Some((_, v)) = cols.iter().find(|(c, _)| c.as_ref() == column) {
+            by_value.entry(v.value.clone()).or_default().push(row);
+        }
+    }
+    for value in values {
+        let mut expected = by_value.get(value).cloned().unwrap_or_default();
+        expected.sort();
+        let mut actual: Vec<Bytes> = match di.get_by_index(base_table, index_name, value, usize::MAX)
+        {
+            Ok(hits) => hits.into_iter().map(|h| h.row).collect(),
+            Err(e) => {
+                violations.push(Violation {
+                    check: "read-agreement",
+                    detail: format!("get_by_index({:?}) failed after quiesce: {e}", value),
+                });
+                continue;
+            }
+        };
+        actual.sort();
+        actual.dedup();
+        if expected != actual {
+            violations.push(Violation {
+                check: "read-agreement",
+                detail: format!(
+                    "value {:?}: index returned {:?}, base holds {:?}",
+                    value, actual, expected
+                ),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use diff_index_core::History;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn model_tracks_acked_and_ambiguous() {
+        let h = History::new();
+        let put = |v: &str| WriteKind::Put { columns: vec![(b("c"), b(v))] };
+        h.record("t", b"r1", put("v1"), WriteOutcome::Acked { ts: 10 });
+        h.record("t", b"r1", put("v2"), WriteOutcome::Ambiguous { error: "boom".into() });
+        h.record("t", b"r2", put("v3"), WriteOutcome::Ambiguous { error: "boom".into() });
+        h.record("t", b"r3", WriteKind::Delete { columns: vec![b("c")] }, WriteOutcome::Acked {
+            ts: 11,
+        });
+        let model = allowed_final_values(&h, "t", b"c");
+        assert_eq!(model[&b("r1")], vec![Some(b("v1")), Some(b("v2"))]);
+        // Never acked: initial absence is also legal.
+        assert_eq!(model[&b("r2")], vec![None, Some(b("v3"))]);
+        assert_eq!(model[&b("r3")], vec![None]);
+    }
+
+    #[test]
+    fn ack_clears_prior_ambiguity() {
+        let h = History::new();
+        let put = |v: &str| WriteKind::Put { columns: vec![(b("c"), b(v))] };
+        h.record("t", b"r", put("v1"), WriteOutcome::Ambiguous { error: "e".into() });
+        h.record("t", b"r", put("v2"), WriteOutcome::Acked { ts: 5 });
+        let model = allowed_final_values(&h, "t", b"c");
+        // v1 cannot be final: v2 was applied after it with a later ts.
+        assert_eq!(model[&b("r")], vec![Some(b("v2"))]);
+    }
+
+    #[test]
+    fn other_tables_and_columns_ignored() {
+        let h = History::new();
+        h.record(
+            "other",
+            b"r",
+            WriteKind::Put { columns: vec![(b("c"), b("x"))] },
+            WriteOutcome::Acked { ts: 1 },
+        );
+        h.record(
+            "t",
+            b"r",
+            WriteKind::Put { columns: vec![(b("d"), b("y"))] },
+            WriteOutcome::Acked { ts: 2 },
+        );
+        assert!(allowed_final_values(&h, "t", b"c").is_empty());
+    }
+}

@@ -1,0 +1,607 @@
+//! Scenario execution: build the environment a schedule asks for, drive
+//! its steps, then repair, quiesce, and check.
+//!
+//! ## End-of-run phases (order matters)
+//!
+//! 1. **Un-wedge**: resume stalled AUQ workers, disarm every injector,
+//!    clear pending response-drops — no armed fault may leak into
+//!    verification.
+//! 2. **Repair** (faulty schedules only): crash + recover every server in
+//!    turn. WAL replay re-applies staged writes and re-enqueues index
+//!    maintenance for every replayed base op (§5.3) — this is the
+//!    mechanism that closes the window a crash-mid-put or failed fsync
+//!    opened. This is exactly why the schedule generator suppresses
+//!    `Flush` while dirty: flushing would truncate the WAL evidence this
+//!    phase replays.
+//! 3. **Quiesce**: drain every AUQ.
+//! 4. **Check**: no lost acked writes, index/base agreement, read
+//!    agreement for the whole value alphabet, and zero dropped AUQ tasks.
+
+use crate::checker::{self, Violation};
+use crate::schedule::{
+    self, Fault, Mode, Schedule, Step, StepOp, BASE_REGIONS, INDEX_REGIONS, NUM_SERVERS,
+    NUM_VALUES,
+};
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_core::{
+    DiffIndex, IndexScheme, IndexSpec, RecordingStore, Session, Store, WriteRecord,
+};
+use diff_index_net::{RemoteClient, ServerGroup};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Base table name used by every scenario.
+pub const BASE_TABLE: &str = "base";
+/// Index name used by every scenario.
+pub const INDEX_NAME: &str = "ix";
+/// The single indexed column.
+pub const COLUMN: &[u8] = b"c";
+
+/// Row key for row index `i` (`row00` … `row47`).
+pub fn row_key(i: u8) -> Bytes {
+    Bytes::from(format!("row{:02}", i))
+}
+
+/// Value bytes for value index `i` (`v0` … `v5`; lexicographic order
+/// matches numeric order for a single digit).
+pub fn value_bytes(i: u8) -> Bytes {
+    Bytes::from(format!("v{i}"))
+}
+
+/// Knobs for a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Pin the transport; `None` lets the seed decide.
+    pub force_mode: Option<Mode>,
+    /// Print each step as it executes.
+    pub verbose: bool,
+}
+
+/// What one `(seed, scheme)` scenario produced.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// The seed that was run.
+    pub seed: u64,
+    /// The scheme under test.
+    pub scheme: IndexScheme,
+    /// Transport the seed chose (or was forced to).
+    pub mode: Mode,
+    /// Whether the WAL fsynced per write.
+    pub wal_sync: bool,
+    /// Client operations executed.
+    pub ops: usize,
+    /// Faults injected.
+    pub faults: usize,
+    /// Every violation found (empty = pass).
+    pub violations: Vec<Violation>,
+    /// Tail of the operation history, for failure reports.
+    pub history_tail: Vec<WriteRecord>,
+}
+
+impl RunOutcome {
+    /// True if no checker fired.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The command that reproduces this scenario.
+    pub fn repro_command(&self) -> String {
+        let mode = match self.mode {
+            Mode::Net => " --net",
+            Mode::InProcess => " --in-process",
+        };
+        format!(
+            "cargo run -p chaos -- --seed {} --scheme {}{}",
+            self.seed,
+            self.scheme.short_name(),
+            mode
+        )
+    }
+}
+
+/// The environment one scenario runs in. Field order doubles as drop
+/// order: the net stack (client, then servers) is torn down before the
+/// cluster it fronts.
+struct Env {
+    di: DiffIndex,
+    /// Index administration handle: `di` in-process; the *server-side*
+    /// `DiffIndex` in net mode (that is where the AUQs live).
+    admin_di: DiffIndex,
+    recorder: Arc<RecordingStore>,
+    group: Option<ServerGroup>,
+    cluster: Cluster,
+    _dir: tempdir_lite::TempDir,
+}
+
+fn build_env(sched: &Schedule) -> Result<Env, String> {
+    let dir = tempdir_lite::TempDir::new("chaos").map_err(|e| format!("tempdir: {e}"))?;
+    // Big memtable: flushes happen only when the schedule says so, and a
+    // huge retention keeps `RB(k, t−δ)` snapshot reads answerable.
+    let copts = ClusterOptions {
+        num_servers: NUM_SERVERS,
+        lsm: diff_index_lsm::LsmOptions {
+            wal_sync: sched.wal_sync,
+            memtable_flush_bytes: 8 * 1024 * 1024,
+            version_retention: u64::MAX,
+            auto_compact: false,
+            ..Default::default()
+        },
+    };
+    let cluster = Cluster::new(dir.path(), copts).map_err(|e| format!("cluster: {e}"))?;
+    cluster.create_table(BASE_TABLE, BASE_REGIONS).map_err(|e| format!("create base: {e}"))?;
+
+    let spec = IndexSpec::single(
+        INDEX_NAME,
+        BASE_TABLE,
+        std::str::from_utf8(COLUMN).unwrap(),
+        sched.scheme,
+    );
+    match sched.mode {
+        Mode::InProcess => {
+            let recorder = Arc::new(RecordingStore::new(Arc::new(cluster.clone())));
+            let store: Arc<dyn Store> = Arc::clone(&recorder) as Arc<dyn Store>;
+            let di = DiffIndex::local_over_store(cluster.clone(), store);
+            di.create_index(spec, INDEX_REGIONS).map_err(|e| format!("create index: {e}"))?;
+            Ok(Env { admin_di: di.clone(), di, recorder, group: None, cluster, _dir: dir })
+        }
+        Mode::Net => {
+            let server_di = DiffIndex::new(cluster.clone());
+            let group = ServerGroup::start(&server_di).map_err(|e| format!("servers: {e}"))?;
+            let remote = RemoteClient::connect_default(group.addrs())
+                .map_err(|e| format!("connect: {e}"))?;
+            let recorder = Arc::new(RecordingStore::new(Arc::new(remote)));
+            let store: Arc<dyn Store> = Arc::clone(&recorder) as Arc<dyn Store>;
+            let di = DiffIndex::over_store(store);
+            di.create_index(spec, INDEX_REGIONS).map_err(|e| format!("create index: {e}"))?;
+            Ok(Env {
+                di,
+                admin_di: server_di,
+                recorder,
+                group: Some(group),
+                cluster,
+                _dir: dir,
+            })
+        }
+    }
+}
+
+/// Run one `(seed, scheme)` scenario to completion and return its verdict.
+pub fn run_seed(seed: u64, scheme: IndexScheme, opts: &RunOptions) -> RunOutcome {
+    let sched = schedule::generate(seed, scheme, opts.force_mode);
+    let mut outcome = RunOutcome {
+        seed,
+        scheme,
+        mode: sched.mode,
+        wal_sync: sched.wal_sync,
+        ops: sched.op_count(),
+        faults: sched.steps.len() - sched.op_count(),
+        violations: Vec::new(),
+        history_tail: Vec::new(),
+    };
+    let env = match build_env(&sched) {
+        Ok(env) => env,
+        Err(e) => {
+            outcome
+                .violations
+                .push(Violation { check: "harness", detail: format!("environment setup: {e}") });
+            return outcome;
+        }
+    };
+    let mut violations = drive(&sched, &env, opts);
+
+    // ---- end-of-run: un-wedge, repair, quiesce, check -------------------
+    set_auq_stalled(&env, false);
+    env.cluster.faults().disarm_all();
+    if let Some(group) = &env.group {
+        for s in group.servers() {
+            s.clear_drop_next_response();
+        }
+    }
+    if sched.has_faults() {
+        if let Err(e) = repair_all(&env.cluster) {
+            violations.push(Violation { check: "harness", detail: format!("repair: {e}") });
+        }
+    }
+    env.di.quiesce(BASE_TABLE);
+    if env.cluster.faults().anything_armed() {
+        violations.push(Violation {
+            check: "harness",
+            detail: "a fault survived disarm_all into verification".into(),
+        });
+    }
+
+    let store: &dyn Store = env.recorder.as_ref();
+    let history = env.recorder.history();
+    violations.extend(checker::check_final_state(store, history, BASE_TABLE, COLUMN));
+    if let Ok(handle) = env.admin_di.index(BASE_TABLE, INDEX_NAME) {
+        violations.extend(checker::check_index_agreement(store, &handle.spec, scheme));
+    } else {
+        violations
+            .push(Violation { check: "harness", detail: "index handle disappeared".into() });
+    }
+    let values: Vec<Bytes> = (0..NUM_VALUES).map(value_bytes).collect();
+    violations.extend(checker::check_read_agreement(
+        &env.di, store, BASE_TABLE, INDEX_NAME, COLUMN, &values,
+    ));
+    for handle in env.admin_di.indexes_of(BASE_TABLE) {
+        if let Some(auq) = handle.try_auq() {
+            let dropped = auq.metrics().dropped.load(std::sync::atomic::Ordering::Relaxed);
+            if dropped > 0 {
+                violations.push(Violation {
+                    check: "auq-dropped",
+                    detail: format!("{dropped} AUQ task(s) exhausted their retry budget"),
+                });
+            }
+        }
+    }
+
+    outcome.history_tail = history.tail(25);
+    outcome.violations = violations;
+    if let Some(group) = &env.group {
+        group.shutdown();
+    }
+    outcome
+}
+
+fn set_auq_stalled(env: &Env, stalled: bool) {
+    for handle in env.admin_di.indexes_of(BASE_TABLE) {
+        if let Some(auq) = handle.try_auq() {
+            auq.set_stalled(stalled);
+        }
+    }
+}
+
+/// Crash + recover every server in turn: each region gets reopened from
+/// its WAL at least once, re-applying staged writes and re-enqueuing the
+/// index maintenance that a mid-put crash or failed fsync skipped.
+fn repair_all(cluster: &Cluster) -> diff_index_cluster::Result<()> {
+    for sid in 0..NUM_SERVERS as u32 {
+        if cluster.servers().contains(&sid) {
+            cluster.crash_server(sid);
+        }
+        cluster.recover()?;
+        cluster.restart_server(sid);
+    }
+    Ok(())
+}
+
+/// Execute every step of the schedule, collecting inline violations.
+fn drive(sched: &Schedule, env: &Env, opts: &RunOptions) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let fault_free = !sched.has_faults();
+    let store: &dyn Store = env.recorder.as_ref();
+    let session: Option<Session> =
+        (sched.scheme == IndexScheme::AsyncSession).then(|| env.di.session());
+    // Rows whose latest write came from the session (value index): those
+    // are the rows read-your-writes is still accountable for.
+    let mut session_rows: HashMap<u8, u8> = HashMap::new();
+    // On fault-free seeds every op must ack, so this mirrors the base
+    // table exactly and backs the inline sync-scheme read checks.
+    let mut truth: HashMap<u8, u8> = HashMap::new();
+
+    for (i, step) in sched.steps.iter().enumerate() {
+        if opts.verbose {
+            eprintln!("  step {i}: {step:?}");
+        }
+        match step {
+            Step::Fault(fault) => inject(fault, env),
+            Step::Op(op) => {
+                run_op(
+                    op,
+                    env,
+                    store,
+                    session.as_ref(),
+                    &mut session_rows,
+                    &mut truth,
+                    fault_free,
+                    &mut violations,
+                );
+            }
+        }
+    }
+    violations
+}
+
+fn inject(fault: &Fault, env: &Env) {
+    match fault {
+        Fault::CrashNextPut => env.cluster.faults().arm_crash_on_next_put(),
+        Fault::FsyncFail { count } => env.cluster.faults().lsm().arm_fsync_failures(*count),
+        Fault::AppendFail { count } => env.cluster.faults().lsm().arm_append_failures(*count),
+        Fault::CrashServer { server } => env.cluster.crash_server(*server),
+        Fault::Recover => {
+            // Errors here would mean recovery itself is broken; surface
+            // that loudly rather than limping on.
+            env.cluster.recover().expect("master recovery failed");
+            for sid in 0..NUM_SERVERS as u32 {
+                if !env.cluster.servers().contains(&sid) {
+                    env.cluster.restart_server(sid);
+                }
+            }
+        }
+        Fault::KillConnections => {
+            if let Some(group) = &env.group {
+                group.kill_connections();
+            }
+        }
+        Fault::DropNextResponse { server } => {
+            if let Some(group) = &env.group {
+                group.servers()[*server as usize].drop_next_response();
+            }
+        }
+        Fault::StallAuq => set_auq_stalled(env, true),
+        Fault::ResumeAuq => set_auq_stalled(env, false),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_op(
+    op: &StepOp,
+    env: &Env,
+    store: &dyn Store,
+    session: Option<&Session>,
+    session_rows: &mut HashMap<u8, u8>,
+    truth: &mut HashMap<u8, u8>,
+    fault_free: bool,
+    violations: &mut Vec<Violation>,
+) {
+    let col = Bytes::copy_from_slice(COLUMN);
+    match op {
+        StepOp::Put { row, value } => {
+            let old = truth.get(row).copied();
+            let res = store.put(BASE_TABLE, &row_key(*row), &[(col, value_bytes(*value))]);
+            session_rows.remove(row);
+            if fault_free {
+                match res {
+                    Ok(_) => {
+                        truth.insert(*row, *value);
+                        inline_read_check(env, truth, &[old, Some(*value)], violations);
+                    }
+                    Err(e) => violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!("put(row{row:02}) failed with no fault injected: {e}"),
+                    }),
+                }
+            }
+        }
+        StepOp::PutBatch { rows } => {
+            let batch: Vec<(Bytes, Vec<(Bytes, Bytes)>)> = rows
+                .iter()
+                .map(|(r, v)| (row_key(*r), vec![(col.clone(), value_bytes(*v))]))
+                .collect();
+            let res = store.put_batch(BASE_TABLE, &batch);
+            let mut affected: Vec<Option<u8>> = Vec::new();
+            for (r, v) in rows {
+                session_rows.remove(r);
+                if fault_free {
+                    affected.push(truth.get(r).copied());
+                    affected.push(Some(*v));
+                }
+                if fault_free && res.is_ok() {
+                    truth.insert(*r, *v);
+                }
+            }
+            if fault_free {
+                match res {
+                    Ok(_) => inline_read_check(env, truth, &affected, violations),
+                    Err(e) => violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!("put_batch failed with no fault injected: {e}"),
+                    }),
+                }
+            }
+        }
+        StepOp::Delete { row } => {
+            let old = truth.get(row).copied();
+            let res = store.delete(BASE_TABLE, &row_key(*row), &[col]);
+            session_rows.remove(row);
+            if fault_free {
+                match res {
+                    Ok(_) => {
+                        truth.remove(row);
+                        inline_read_check(env, truth, &[old], violations);
+                    }
+                    Err(e) => violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!("delete(row{row:02}) failed with no fault injected: {e}"),
+                    }),
+                }
+            }
+        }
+        StepOp::SessionPut { row, value } => {
+            let old = truth.get(row).copied();
+            let res = match session {
+                Some(s) => s
+                    .put(BASE_TABLE, &row_key(*row), &[(col, value_bytes(*value))])
+                    .map_err(|e| e.to_string()),
+                None => store
+                    .put(BASE_TABLE, &row_key(*row), &[(col, value_bytes(*value))])
+                    .map_err(|e| e.to_string()),
+            };
+            match &res {
+                Ok(_) if session.is_some() => {
+                    session_rows.insert(*row, *value);
+                }
+                _ => {
+                    session_rows.remove(row);
+                }
+            }
+            if fault_free {
+                match res {
+                    Ok(_) => {
+                        truth.insert(*row, *value);
+                        inline_read_check(env, truth, &[old, Some(*value)], violations);
+                    }
+                    Err(e) => violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!(
+                            "session put(row{row:02}) failed with no fault injected: {e}"
+                        ),
+                    }),
+                }
+            }
+        }
+        StepOp::IndexRead { value } => {
+            index_read(env, truth, *value, fault_free, violations);
+        }
+        StepOp::SessionRead { value } => match session {
+            Some(s) => {
+                match s.get_by_index(BASE_TABLE, INDEX_NAME, &value_bytes(*value), usize::MAX) {
+                    Ok(hits) => {
+                        // Read-your-writes: every row whose *latest* write
+                        // was this session's put of `value` must be seen,
+                        // no matter how far the AUQ lags.
+                        for (row, v) in session_rows.iter() {
+                            if v == value && !hits.iter().any(|h| h.row == row_key(*row)) {
+                                violations.push(Violation {
+                                    check: "session-ryw",
+                                    detail: format!(
+                                        "session read of {:?} missed its own write to row{row:02}",
+                                        value_bytes(*value)
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        if fault_free {
+                            violations.push(Violation {
+                                check: "fault-free",
+                                detail: format!("session read failed with no fault injected: {e}"),
+                            });
+                        }
+                    }
+                }
+            }
+            None => index_read(env, truth, *value, fault_free, violations),
+        },
+        StepOp::RangeRead { lo, hi } => {
+            let res = env.di.range_by_index(
+                BASE_TABLE,
+                INDEX_NAME,
+                &value_bytes(*lo),
+                &value_bytes(*hi),
+                true,
+                usize::MAX,
+            );
+            if fault_free {
+                if let Err(e) = res {
+                    violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!("range read failed with no fault injected: {e}"),
+                    });
+                }
+            }
+        }
+        StepOp::Flush => {
+            let index_table = match env.di.index(BASE_TABLE, INDEX_NAME) {
+                Ok(h) => h.spec.index_table(),
+                Err(_) => return,
+            };
+            let res = store.flush_table(BASE_TABLE).and_then(|_| store.flush_table(&index_table));
+            if fault_free {
+                if let Err(e) = res {
+                    violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!("flush failed with no fault injected: {e}"),
+                    });
+                }
+            }
+        }
+        StepOp::Compact => {
+            let index_table = match env.di.index(BASE_TABLE, INDEX_NAME) {
+                Ok(h) => h.spec.index_table(),
+                Err(_) => return,
+            };
+            let res = env
+                .cluster
+                .compact_table(BASE_TABLE)
+                .and_then(|_| env.cluster.compact_table(&index_table));
+            if fault_free {
+                if let Err(e) = res {
+                    violations.push(Violation {
+                        check: "fault-free",
+                        detail: format!("compact failed with no fault injected: {e}"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// On fault-free seeds, the synchronous schemes promise exact reads the
+/// moment the put acks (§3.4): check every value the op touched.
+fn inline_read_check(
+    env: &Env,
+    truth: &HashMap<u8, u8>,
+    affected: &[Option<u8>],
+    violations: &mut Vec<Violation>,
+) {
+    let scheme = match env.di.index(BASE_TABLE, INDEX_NAME) {
+        Ok(h) => h.spec.scheme,
+        Err(_) => return,
+    };
+    if !matches!(scheme, IndexScheme::SyncFull | IndexScheme::SyncInsert) {
+        return;
+    }
+    let mut seen = Vec::new();
+    for value in affected.iter().flatten() {
+        if seen.contains(value) {
+            continue;
+        }
+        seen.push(*value);
+        check_value_exact(env, truth, *value, violations);
+    }
+}
+
+fn check_value_exact(
+    env: &Env,
+    truth: &HashMap<u8, u8>,
+    value: u8,
+    violations: &mut Vec<Violation>,
+) {
+    let mut expected: Vec<Bytes> =
+        truth.iter().filter(|(_, v)| **v == value).map(|(r, _)| row_key(*r)).collect();
+    expected.sort();
+    match env.di.get_by_index(BASE_TABLE, INDEX_NAME, &value_bytes(value), usize::MAX) {
+        Ok(hits) => {
+            let mut actual: Vec<Bytes> = hits.into_iter().map(|h| h.row).collect();
+            actual.sort();
+            actual.dedup();
+            if actual != expected {
+                violations.push(Violation {
+                    check: "sync-inline",
+                    detail: format!(
+                        "after ack, {:?} reads {:?} but base holds {:?}",
+                        value_bytes(value),
+                        actual,
+                        expected
+                    ),
+                });
+            }
+        }
+        Err(e) => violations.push(Violation {
+            check: "sync-inline",
+            detail: format!("inline read of {:?} failed: {e}", value_bytes(value)),
+        }),
+    }
+}
+
+fn index_read(
+    env: &Env,
+    truth: &HashMap<u8, u8>,
+    value: u8,
+    fault_free: bool,
+    violations: &mut Vec<Violation>,
+) {
+    if fault_free {
+        let scheme = env.di.index(BASE_TABLE, INDEX_NAME).map(|h| h.spec.scheme);
+        if matches!(scheme, Ok(IndexScheme::SyncFull) | Ok(IndexScheme::SyncInsert)) {
+            check_value_exact(env, truth, value, violations);
+            return;
+        }
+    }
+    // Async schemes mid-run (or any scheme mid-fault): the read only has
+    // to not wedge; its result is validated at convergence.
+    let _ = env.di.get_by_index(BASE_TABLE, INDEX_NAME, &value_bytes(value), usize::MAX);
+}

@@ -1,0 +1,394 @@
+//! Seed → schedule: derive a complete, constraint-respecting scenario
+//! (workload interleaved with faults) from a single `u64`.
+//!
+//! The generator tracks scenario state while emitting steps so that every
+//! schedule is *runnable by construction*:
+//!
+//! * WAL-fsync faults are only scheduled on seeds that enable `wal_sync`
+//!   (otherwise the armed fault would never fire and leak into checking);
+//! * once the scenario is **dirty** — a fault may have applied a base write
+//!   whose index maintenance was skipped (§5.3 window) — `Flush`/`Compact`
+//!   are suppressed, because flushing would truncate the WAL evidence that
+//!   end-of-run crash-recovery replay needs to repair the index;
+//! * a crashed server is always followed by `Recover` within a bounded
+//!   number of steps, so AUQ retries cannot exhaust their budget;
+//! * at most one server is down at a time (of three), so a majority of
+//!   regions stays reachable;
+//! * connection-level faults only appear in [`Mode::Net`] scenarios, and a
+//!   stalled AUQ is always resumed.
+
+use crate::rng::SplitMix64;
+use diff_index_core::IndexScheme;
+
+/// Number of region servers in every scenario.
+pub const NUM_SERVERS: usize = 3;
+/// Base-table regions.
+pub const BASE_REGIONS: usize = 6;
+/// Index-table regions.
+pub const INDEX_REGIONS: usize = 4;
+/// Row alphabet size (`row00` … `row47`).
+pub const NUM_ROWS: u8 = 48;
+/// Value alphabet size (`v0` … `v5`).
+pub const NUM_VALUES: u8 = 6;
+/// A crashed server must be recovered within this many steps.
+const MAX_STEPS_CRASHED: u32 = 8;
+
+/// How the client talks to the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Client calls the `Cluster` directly (through the recorder).
+    InProcess,
+    /// Client goes through `net::RemoteClient` → loopback TCP →
+    /// `net::ServerGroup`, with index admin forwarded over the wire.
+    Net,
+}
+
+/// One client operation. Rows and values are small indices into fixed
+/// alphabets so that overwrites (the interesting case for index
+/// maintenance) are frequent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOp {
+    /// `put(row, {c: value})`.
+    Put {
+        /// Row index.
+        row: u8,
+        /// Value index.
+        value: u8,
+    },
+    /// `put_batch` of distinct rows.
+    PutBatch {
+        /// `(row, value)` pairs; rows are distinct within the batch.
+        rows: Vec<(u8, u8)>,
+    },
+    /// `delete(row, {c})`.
+    Delete {
+        /// Row index.
+        row: u8,
+    },
+    /// Session put (plain put for schemes without sessions).
+    SessionPut {
+        /// Row index.
+        row: u8,
+        /// Value index.
+        value: u8,
+    },
+    /// `get_by_index(value)`.
+    IndexRead {
+        /// Value index.
+        value: u8,
+    },
+    /// Session `get_by_index(value)` (plain read without a session).
+    SessionRead {
+        /// Value index.
+        value: u8,
+    },
+    /// `range_by_index(v_lo ..= v_hi)`.
+    RangeRead {
+        /// Low value index (inclusive).
+        lo: u8,
+        /// High value index (inclusive).
+        hi: u8,
+    },
+    /// Flush every region of base and index tables.
+    Flush,
+    /// Major-compact base and index tables.
+    Compact,
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// The next client `put` crashes its server after the durable base
+    /// write, before index maintenance and before the ack (§5.3).
+    CrashNextPut,
+    /// The next `n` WAL fsyncs fail after the buffer reached the OS file:
+    /// applied-but-unacked writes.
+    FsyncFail {
+        /// How many fsyncs to fail.
+        count: u32,
+    },
+    /// The next `n` WAL appends fail before anything is applied.
+    AppendFail {
+        /// How many appends to fail.
+        count: u32,
+    },
+    /// Crash a region server outright (its regions go dark until
+    /// [`Fault::Recover`]).
+    CrashServer {
+        /// Server id to crash.
+        server: u32,
+    },
+    /// Master recovery: reassign dead servers' regions, WAL-replay them,
+    /// restart the servers. In net mode this also leaves the client's
+    /// partition map stale until its next `NotServing` refresh.
+    Recover,
+    /// Sever every open client connection (net mode only); in-flight
+    /// requests become ambiguous acks.
+    KillConnections,
+    /// Execute the next request that completes on server `server` but
+    /// drop its response and destroy its connection (net mode only).
+    DropNextResponse {
+        /// Server id whose next response is dropped.
+        server: u32,
+    },
+    /// Stall all AUQ workers: tasks queue but none complete.
+    StallAuq,
+    /// Resume stalled AUQ workers.
+    ResumeAuq,
+}
+
+/// A schedule entry: do an operation, or inject a fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Execute a client operation.
+    Op(StepOp),
+    /// Inject a fault.
+    Fault(Fault),
+}
+
+/// A fully derived scenario.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// The seed this schedule was derived from.
+    pub seed: u64,
+    /// Index maintenance scheme under test.
+    pub scheme: IndexScheme,
+    /// Client transport.
+    pub mode: Mode,
+    /// Whether the cluster fsyncs the WAL on every write.
+    pub wal_sync: bool,
+    /// The steps, in execution order.
+    pub steps: Vec<Step>,
+}
+
+impl Schedule {
+    /// True if any fault is scheduled (fault-free seeds get stricter
+    /// inline checks; faulty seeds get end-of-run repair before checking).
+    pub fn has_faults(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::Fault(_)))
+    }
+
+    /// Number of client operations.
+    pub fn op_count(&self) -> usize {
+        self.steps.iter().filter(|s| matches!(s, Step::Op(_))).count()
+    }
+}
+
+fn scheme_salt(scheme: IndexScheme) -> u64 {
+    match scheme {
+        IndexScheme::SyncFull => 0x5f01,
+        IndexScheme::SyncInsert => 0x5f02,
+        IndexScheme::AsyncSimple => 0x5f03,
+        IndexScheme::AsyncSession => 0x5f04,
+    }
+}
+
+/// Derive the full scenario for `(seed, scheme)`. `force_mode` pins the
+/// transport; `None` lets the seed choose (≈1 in 5 scenarios run over the
+/// network).
+pub fn generate(seed: u64, scheme: IndexScheme, force_mode: Option<Mode>) -> Schedule {
+    let mut rng = SplitMix64::new(seed ^ scheme_salt(scheme));
+    let mode = force_mode.unwrap_or(if rng.one_in(5) { Mode::Net } else { Mode::InProcess });
+    // Fault budget: ~1/4 of seeds are fault-free; the rest get 1–4 faults.
+    let fault_budget = if rng.one_in(4) { 0 } else { rng.range(1, 4) as u32 };
+    // WAL fsync-per-write on for 1/3 of seeds; fsync faults need it, so
+    // seeds that *could* inject them skew toward it.
+    let wal_sync = rng.one_in(3) || (fault_budget > 0 && rng.one_in(2));
+    let n_ops = rng.range(30, 80);
+
+    let mut steps = Vec::new();
+    let mut faults_left = fault_budget;
+    let mut dirty = false; // §5.3 window may be open: no flush/compact
+    let mut crashed: Option<u32> = None;
+    let mut steps_since_crash = 0u32;
+    let mut stalled = false;
+    let mut ops_emitted = 0u64;
+
+    while ops_emitted < n_ops {
+        // Forced recovery: never leave a server down for long.
+        if crashed.is_some() {
+            steps_since_crash += 1;
+            if steps_since_crash >= MAX_STEPS_CRASHED {
+                steps.push(Step::Fault(Fault::Recover));
+                crashed = None;
+                steps_since_crash = 0;
+                continue;
+            }
+        }
+
+        // Maybe inject a fault (faults ride between ops, ~1 per 8 steps).
+        if faults_left > 0 && rng.one_in(8) {
+            let mut candidates: Vec<Fault> = vec![Fault::CrashNextPut];
+            if wal_sync {
+                candidates.push(Fault::FsyncFail { count: rng.range(1, 2) as u32 });
+            }
+            candidates.push(Fault::AppendFail { count: 1 });
+            if crashed.is_none() {
+                candidates.push(Fault::CrashServer {
+                    server: rng.below(NUM_SERVERS as u64) as u32,
+                });
+            } else {
+                candidates.push(Fault::Recover);
+            }
+            if mode == Mode::Net {
+                candidates.push(Fault::KillConnections);
+                candidates.push(Fault::DropNextResponse {
+                    server: rng.below(NUM_SERVERS as u64) as u32,
+                });
+            }
+            if stalled {
+                candidates.push(Fault::ResumeAuq);
+            } else {
+                candidates.push(Fault::StallAuq);
+            }
+            let fault = rng.pick(&candidates).clone();
+            match &fault {
+                Fault::CrashNextPut | Fault::FsyncFail { .. } => dirty = true,
+                Fault::CrashServer { server } => {
+                    crashed = Some(*server);
+                    steps_since_crash = 0;
+                }
+                Fault::Recover => {
+                    crashed = None;
+                    steps_since_crash = 0;
+                }
+                Fault::StallAuq => stalled = true,
+                Fault::ResumeAuq => stalled = false,
+                _ => {}
+            }
+            steps.push(Step::Fault(fault));
+            faults_left -= 1;
+            continue;
+        }
+
+        // Otherwise emit a client operation (weighted mix).
+        let op = match rng.below(20) {
+            0..=7 => StepOp::Put {
+                row: rng.below(NUM_ROWS as u64) as u8,
+                value: rng.below(NUM_VALUES as u64) as u8,
+            },
+            8..=9 => {
+                // Distinct rows within a batch so per-row outcomes are
+                // unambiguous.
+                let n = rng.range(2, 5) as usize;
+                let mut rows: Vec<(u8, u8)> = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let row = rng.below(NUM_ROWS as u64) as u8;
+                    if !rows.iter().any(|(r, _)| *r == row) {
+                        rows.push((row, rng.below(NUM_VALUES as u64) as u8));
+                    }
+                }
+                StepOp::PutBatch { rows }
+            }
+            10..=11 => StepOp::Delete { row: rng.below(NUM_ROWS as u64) as u8 },
+            12..=13 => StepOp::SessionPut {
+                row: rng.below(NUM_ROWS as u64) as u8,
+                value: rng.below(NUM_VALUES as u64) as u8,
+            },
+            14..=15 => StepOp::IndexRead { value: rng.below(NUM_VALUES as u64) as u8 },
+            16 => StepOp::SessionRead { value: rng.below(NUM_VALUES as u64) as u8 },
+            17 => {
+                let a = rng.below(NUM_VALUES as u64) as u8;
+                let b = rng.below(NUM_VALUES as u64) as u8;
+                StepOp::RangeRead { lo: a.min(b), hi: a.max(b) }
+            }
+            18 if !dirty && crashed.is_none() => StepOp::Flush,
+            19 if !dirty && crashed.is_none() => StepOp::Compact,
+            _ => StepOp::IndexRead { value: rng.below(NUM_VALUES as u64) as u8 },
+        };
+        steps.push(Step::Op(op));
+        ops_emitted += 1;
+    }
+
+    // Close out dangling state: recover any crashed server and resume a
+    // stalled AUQ so the schedule itself is well-formed (the runner's
+    // end-phase does this again defensively).
+    if crashed.is_some() {
+        steps.push(Step::Fault(Fault::Recover));
+    }
+    if stalled {
+        steps.push(Step::Fault(Fault::ResumeAuq));
+    }
+
+    Schedule { seed, scheme, mode, wal_sync, steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        for seed in 0..50 {
+            let a = generate(seed, IndexScheme::SyncFull, None);
+            let b = generate(seed, IndexScheme::SyncFull, None);
+            assert_eq!(a.steps, b.steps);
+            assert_eq!(a.mode, b.mode);
+            assert_eq!(a.wal_sync, b.wal_sync);
+        }
+    }
+
+    #[test]
+    fn schemes_get_distinct_schedules() {
+        let a = generate(1, IndexScheme::SyncFull, None);
+        let b = generate(1, IndexScheme::AsyncSimple, None);
+        assert_ne!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn constraints_hold_across_many_seeds() {
+        for seed in 0..500 {
+            for scheme in IndexScheme::all() {
+                let s = generate(seed, scheme, None);
+                let mut dirty = false;
+                let mut crashed: Option<u32> = None;
+                let mut down_steps = 0u32;
+                let mut stalled = false;
+                for step in &s.steps {
+                    if crashed.is_some() {
+                        down_steps += 1;
+                        assert!(
+                            down_steps <= MAX_STEPS_CRASHED + 1,
+                            "seed {seed}: server down too long"
+                        );
+                    }
+                    match step {
+                        Step::Fault(Fault::FsyncFail { .. }) => {
+                            assert!(s.wal_sync, "seed {seed}: fsync fault without wal_sync");
+                            dirty = true;
+                        }
+                        Step::Fault(Fault::CrashNextPut) => dirty = true,
+                        Step::Fault(Fault::CrashServer { server }) => {
+                            assert!(crashed.is_none(), "seed {seed}: double crash");
+                            assert!((*server as usize) < NUM_SERVERS);
+                            crashed = Some(*server);
+                            down_steps = 0;
+                        }
+                        Step::Fault(Fault::Recover) => {
+                            crashed = None;
+                            down_steps = 0;
+                        }
+                        Step::Fault(Fault::KillConnections)
+                        | Step::Fault(Fault::DropNextResponse { .. }) => {
+                            assert_eq!(s.mode, Mode::Net, "seed {seed}: net fault in-process");
+                        }
+                        Step::Fault(Fault::StallAuq) => stalled = true,
+                        Step::Fault(Fault::ResumeAuq) => stalled = false,
+                        Step::Op(StepOp::Flush) | Step::Op(StepOp::Compact) => {
+                            assert!(!dirty, "seed {seed}: flush/compact while dirty");
+                            assert!(crashed.is_none(), "seed {seed}: flush while crashed");
+                        }
+                        Step::Op(StepOp::PutBatch { rows }) => {
+                            let mut seen = std::collections::HashSet::new();
+                            assert!(rows.iter().all(|(r, _)| seen.insert(*r)));
+                        }
+                        _ => {}
+                    }
+                }
+                assert!(crashed.is_none(), "seed {seed}: schedule ends with a dead server");
+                assert!(!stalled, "seed {seed}: schedule ends stalled");
+                assert!(s.op_count() >= 30);
+            }
+        }
+    }
+}

@@ -13,6 +13,7 @@ use crate::coproc::{ColumnValue, ReplayedOp, TableObserver};
 use crate::encoding::{cell_key, decode_cell_key, escape_no_term, prefix_end, row_end, row_start};
 use crate::error::{ClusterError, Result};
 use crate::fanout::FanoutPool;
+use crate::faults::FaultPlan;
 use crate::keyspace::{PartitionMap, RegionId, RegionSpec, ServerId};
 use bytes::Bytes;
 use diff_index_lsm::{Cell, CellKind, LsmOptions, LsmTree, MetricsSnapshot, VersionedValue};
@@ -197,6 +198,8 @@ struct Inner {
     /// specs, per-region stages of batched puts, and the SU2 ∥ SU3/SU4
     /// split inside sync index maintenance.
     fanout: FanoutPool,
+    /// Chaos-testing fault surface; unarmed (and free) in production.
+    faults: FaultPlan,
 }
 
 /// Handle to the cluster; cheap to clone, shared with coprocessors.
@@ -267,6 +270,7 @@ impl Cluster {
                 dispatch: DispatchCounters::default(),
                 next_observer_id: AtomicU64::new(1),
                 fanout: FanoutPool::new_default(),
+                faults: FaultPlan::default(),
             }),
         })
     }
@@ -275,6 +279,12 @@ impl Cluster {
     /// independent index sub-operations in parallel.
     pub fn fanout(&self) -> &FanoutPool {
         &self.inner.fanout
+    }
+
+    /// This cluster's fault-injection surface (chaos testing). Unarmed by
+    /// default; see [`FaultPlan`].
+    pub fn faults(&self) -> &FaultPlan {
+        &self.inner.faults
     }
 
     /// A non-owning handle to this cluster.
@@ -333,6 +343,10 @@ impl Cluster {
         let dir = self.inner.dir.join(table).join(format!("region-{region:04}"));
         let (engine, replayed) = LsmTree::open_with_replay(dir, self.inner.opts.lsm.clone())?;
         let engine = Arc::new(engine);
+        // Every engine — including ones reopened by recovery — shares the
+        // cluster's fault injector, so armed WAL faults fire wherever the
+        // next matching operation lands.
+        engine.set_fault_injector(Arc::clone(self.inner.faults.lsm()));
         // Wire engine flush events to table observers (drain-AUQ-before-flush).
         let weak: Weak<Inner> = Arc::downgrade(&self.inner);
         let t = table.to_string();
@@ -478,6 +492,15 @@ impl Cluster {
             region.engine.complete(handle)?;
         }
         drop(region);
+        if self.inner.faults.take_crash_next_put() {
+            // Injected crash in the §5.3 window: the base write is durable
+            // (staged + completed above) but the server dies before its
+            // coprocessors maintain the index and before the client is
+            // acked. Only WAL-replay recovery can repair the divergence.
+            let owner = self.server_for_row(table, row)?;
+            self.crash_server(owner);
+            return Err(ClusterError::ServerDown(owner));
+        }
         self.notify_put(table, row, columns, ts)?;
         Ok(ts)
     }

@@ -27,9 +27,11 @@ pub mod coproc;
 pub mod encoding;
 pub mod error;
 pub mod fanout;
+pub mod faults;
 pub mod keyspace;
 
 pub use cluster::{Cluster, ClusterOptions, DispatchSnapshot, PutOutcome, RowGroup, WeakCluster};
+pub use faults::FaultPlan;
 pub use coproc::{ColumnValue, ReplayedOp, TableObserver};
 pub use fanout::FanoutPool;
 pub use error::{ClusterError, Result};

@@ -104,6 +104,23 @@ impl DiffIndex {
         Self::over_store_with_config(store, SessionConfig::default())
     }
 
+    /// Local index administration over a decorated store: observers are
+    /// registered on `cluster` in-process (as in [`DiffIndex::new`]), but
+    /// every client read and write goes through `store` — which must be a
+    /// wrapper around that same cluster, e.g. a
+    /// [`RecordingStore`](crate::history::RecordingStore) capturing an
+    /// operation history for consistency checking.
+    pub fn local_over_store(cluster: Cluster, store: Arc<dyn Store>) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                store,
+                local: Some(cluster),
+                indexes: RwLock::new(HashMap::new()),
+                session_config: SessionConfig::default(),
+            }),
+        }
+    }
+
     /// [`DiffIndex::over_store`] with custom session limits.
     pub fn over_store_with_config(store: Arc<dyn Store>, session_config: SessionConfig) -> Self {
         Self {

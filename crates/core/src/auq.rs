@@ -20,7 +20,7 @@ use diff_index_cluster::{Cluster, ColumnValue, WeakCluster};
 use diff_index_lsm::DELTA;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -117,6 +117,12 @@ pub struct Auq {
     spec: Arc<IndexSpec>,
     metrics: Arc<AuqMetrics>,
     workers: usize,
+    /// Chaos-testing switch: while set, APS workers stop pulling tasks
+    /// (the queue keeps accepting), simulating a wedged processing service.
+    /// A flush's `pause_and_drain` overrides the stall — the drain contract
+    /// (`PR(Flushed) = ∅`, Figure 5) must hold even mid-chaos, or the base
+    /// flush would deadlock behind an injected fault.
+    stalled: AtomicBool,
 }
 
 impl std::fmt::Debug for Auq {
@@ -161,6 +167,7 @@ impl Auq {
             spec,
             metrics: Arc::new(AuqMetrics::default()),
             workers,
+            stalled: AtomicBool::new(false),
         });
         for i in 0..workers {
             let worker = Arc::clone(&auq);
@@ -232,6 +239,22 @@ impl Auq {
         self.cv.notify_all();
     }
 
+    /// Chaos-testing control: stall (`true`) or un-stall (`false`) the APS
+    /// workers. While stalled, tasks accumulate but are not executed —
+    /// except during a flush's `pause_and_drain`, which overrides the stall
+    /// so the drain-before-flush protocol cannot deadlock. A harness MUST
+    /// clear the stall before calling [`Auq::wait_idle`] or quiescing.
+    pub fn set_stalled(&self, stalled: bool) {
+        self.stalled.store(stalled, Ordering::SeqCst);
+        let _s = self.state.lock();
+        self.cv.notify_all();
+    }
+
+    /// True while [`Auq::set_stalled`] has the workers wedged.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled.load(Ordering::SeqCst)
+    }
+
     /// Convenience for tests: wait until the queue is empty without pausing
     /// intake permanently.
     pub fn wait_idle(&self) {
@@ -262,9 +285,14 @@ impl Auq {
                     if s.shutdown {
                         return;
                     }
-                    if let Some(t) = s.queue.pop_front() {
-                        s.in_flight += 1;
-                        break t;
+                    // An injected stall wedges the workers — unless a flush
+                    // drain is waiting (paused), which takes precedence.
+                    let wedged = self.stalled.load(Ordering::SeqCst) && !s.paused;
+                    if !wedged {
+                        if let Some(t) = s.queue.pop_front() {
+                            s.in_flight += 1;
+                            break t;
+                        }
                     }
                     // Nothing to do; also wake periodically so a cluster
                     // that has gone away lets us exit.
@@ -644,6 +672,46 @@ mod tests {
         assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
         // Lag is wall-clock based; just check it is sane (< 10 s).
         assert!(auq.metrics().mean_lag_ms() < 10_000.0);
+    }
+
+    #[test]
+    fn stalled_workers_resume_when_cleared() {
+        let (_d, cluster, _spec, auq) = setup();
+        auq.set_stalled(true);
+        assert!(auq.is_stalled());
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("v"))]).unwrap();
+        auq.enqueue(IndexTask::Maintain {
+            row: b("r1"),
+            ts,
+            is_delete: false,
+            put_columns: vec![(b("name"), b("v"))],
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 0, "stalled");
+        assert_eq!(auq.depth(), 1);
+        auq.set_stalled(false);
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn pause_and_drain_overrides_stall() {
+        let (_d, cluster, _spec, auq) = setup();
+        let ts = cluster.put("base", b"r1", &[(b("name"), b("v"))]).unwrap();
+        auq.set_stalled(true);
+        auq.enqueue(IndexTask::Maintain {
+            row: b("r1"),
+            ts,
+            is_delete: false,
+            put_columns: vec![(b("name"), b("v"))],
+        });
+        // A flush drain must complete even while the workers are stalled,
+        // or every flush under chaos would deadlock.
+        auq.pause_and_drain();
+        assert_eq!(auq.depth(), 0);
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+        auq.resume();
+        auq.set_stalled(false);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod auq;
 pub mod cost;
 pub mod encoding;
 pub mod error;
+pub mod history;
 pub mod observers;
 pub mod read;
 pub mod session;
@@ -54,6 +55,8 @@ pub use admin::{DiffIndex, IndexHandle};
 pub use auq::{Auq, AuqMetrics, IndexTask};
 pub use cost::{index_update_latency, read_cost, update_cost, IoCost};
 pub use error::{IndexError, Result};
+pub use history::{History, RecordingStore, WriteKind, WriteOutcome, WriteRecord};
+pub use observers::{set_violate_delta, violate_delta_enabled};
 pub use read::IndexHit;
 pub use session::{Session, SessionConfig};
 pub use advisor::{recommend, Recommendation, Requirements, WorkloadStats};

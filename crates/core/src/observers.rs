@@ -14,12 +14,41 @@ use crate::spec::IndexSpec;
 use bytes::Bytes;
 use diff_index_cluster::{Cluster, ColumnValue, ReplayedOp, TableObserver};
 use diff_index_lsm::DELTA;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Key-only index entry payload: one empty column with an empty value.
 fn null_cell() -> Vec<ColumnValue> {
     vec![(Bytes::new(), Bytes::new())]
+}
+
+/// Chaos-testing switch (process-global): when set, the synchronous repair
+/// arm performs its pre-image read and old-entry delete at the base
+/// timestamp `t` instead of `t − δ` — deliberately violating §4.3. The
+/// read-back then observes the *new* value, concludes old == new, skips the
+/// delete, and permanently leaks the stale old-value entry. The chaos
+/// harness flips this on to prove its consistency checkers catch exactly
+/// this class of bug deterministically. Never set outside chaos tests.
+static VIOLATE_DELTA: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the deliberate §4.3 violation (chaos testing only).
+pub fn set_violate_delta(enabled: bool) {
+    VIOLATE_DELTA.store(enabled, Ordering::SeqCst);
+}
+
+/// True while the deliberate §4.3 violation is enabled.
+pub fn violate_delta_enabled() -> bool {
+    VIOLATE_DELTA.load(Ordering::SeqCst)
+}
+
+/// The timestamp old-entry operations should use: `ts − δ` per §4.3, or
+/// (under the injected violation) `ts` itself.
+fn old_entry_ts(ts: u64) -> u64 {
+    if violate_delta_enabled() {
+        ts
+    } else {
+        ts - DELTA
+    }
 }
 
 /// Shared synchronous index-update steps SU2–SU4 of Algorithm 1. `do_repair`
@@ -84,17 +113,18 @@ fn sync_update(
         let cluster = cluster.clone();
         let spec = Arc::clone(spec);
         arms.push(Box::new(move || {
-            let old_vals = read_index_values(&cluster, &spec, &row, ts - DELTA)?;
+            let old_ts = old_entry_ts(ts);
+            let old_vals = read_index_values(&cluster, &spec, &row, old_ts)?;
             if let Some(old) = old_vals {
                 if Some(&old) != new_vals.as_ref() {
                     let old_key = index_row(&old, &row);
                     if cluster
-                        .raw_delete(&spec.index_table(), &old_key, &[Bytes::new()], ts - DELTA)
+                        .raw_delete(&spec.index_table(), &old_key, &[Bytes::new()], old_ts)
                         .is_err()
                     {
                         return Ok(vec![IndexTask::DeleteIndex {
                             index_row: old_key,
-                            ts: ts - DELTA,
+                            ts: old_ts,
                         }]);
                     }
                 }

@@ -68,6 +68,7 @@ proptest! {
 #[derive(Debug, Clone)]
 enum Action {
     Put { row: u8, value: u8 },
+    PutBatch { rows: Vec<(u8, u8)> },
     Delete { row: u8 },
     Flush,
     CrashRecover { server: u8 },
@@ -79,10 +80,29 @@ fn action_strategy() -> impl Strategy<Value = Action> {
             row: row % 12,
             value: value % 6,
         }),
+        2 => prop::collection::vec((any::<u8>(), any::<u8>()), 2..6).prop_map(|pairs| {
+            // Distinct rows within a batch, so the final value per row is
+            // defined by the batch contents alone.
+            let mut rows: Vec<(u8, u8)> = Vec::new();
+            for (r, v) in pairs {
+                let r = r % 12;
+                if !rows.iter().any(|(x, _)| *x == r) {
+                    rows.push((r, v % 6));
+                }
+            }
+            Action::PutBatch { rows }
+        }),
         2 => any::<u8>().prop_map(|row| Action::Delete { row: row % 12 }),
         1 => Just(Action::Flush),
         1 => any::<u8>().prop_map(|server| Action::CrashRecover { server: server % 2 }),
     ]
+}
+
+/// Convergence cases scale with `PROPTEST_CASES` (each case builds a full
+/// cluster, so run 1/16th of the cheap-property count, floor 12).
+fn conv_config() -> ProptestConfig {
+    let base = ProptestConfig::default();
+    ProptestConfig { cases: (base.cases / 16).max(12), ..base }
 }
 
 fn small_lsm() -> LsmOptions {
@@ -122,6 +142,21 @@ fn run_convergence(scheme: IndexScheme, actions: &[Action]) -> Result<(), TestCa
                 cluster.put("t", r.as_bytes(), &[(b("c"), b(&v))]).unwrap();
                 truth.insert(r, v);
             }
+            Action::PutBatch { rows } => {
+                let batch: Vec<(Bytes, Vec<(Bytes, Bytes)>)> = rows
+                    .iter()
+                    .map(|(r, v)| {
+                        (
+                            Bytes::from(format!("row{r:02}")),
+                            vec![(b("c"), b(&format!("val{v}")))],
+                        )
+                    })
+                    .collect();
+                cluster.put_batch("t", &batch).unwrap();
+                for (r, v) in rows {
+                    truth.insert(format!("row{r:02}"), format!("val{v}"));
+                }
+            }
             Action::Delete { row } => {
                 let r = format!("row{row:02}");
                 cluster.delete("t", r.as_bytes(), &[b("c")]).unwrap();
@@ -136,11 +171,17 @@ fn run_convergence(scheme: IndexScheme, actions: &[Action]) -> Result<(), TestCa
         }
     }
     di.quiesce("t");
+    assert_projection(&di, &truth)
+}
 
-    // The index must be exactly the projection of the base table: for every
-    // value, get_by_index returns precisely the rows currently holding it.
+/// The index must be exactly the projection of the base table: for every
+/// value, get_by_index returns precisely the rows currently holding it.
+fn assert_projection(
+    di: &DiffIndex,
+    truth: &BTreeMap<String, String>,
+) -> Result<(), TestCaseError> {
     let mut expected: BTreeMap<String, Vec<String>> = BTreeMap::new();
-    for (r, v) in &truth {
+    for (r, v) in truth {
         expected.entry(v.clone()).or_default().push(r.clone());
     }
     for value in 0..6u8 {
@@ -150,17 +191,77 @@ fn run_convergence(scheme: IndexScheme, actions: &[Action]) -> Result<(), TestCa
             hits.iter().map(|h| String::from_utf8(h.row.to_vec()).unwrap()).collect();
         got.sort();
         let want = expected.get(&v).cloned().unwrap_or_default();
-        prop_assert_eq!(got, want, "scheme {} value {}", scheme, v);
+        prop_assert_eq!(got, want, "value {}", v);
     }
     Ok(())
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(conv_config())]
 
     #[test]
     fn sync_full_converges(actions in prop::collection::vec(action_strategy(), 1..40)) {
         run_convergence(IndexScheme::SyncFull, &actions)?;
+    }
+
+    /// WAL group-commit interleavings: concurrent writers to the same
+    /// region race through `stage → complete → wait_durable`, electing a
+    /// sync leader per group; crash/recover between groups must replay
+    /// every acked write exactly once (WAL fsync on, so durability is
+    /// real, not buffered).
+    #[test]
+    fn group_commit_interleavings_converge(
+        groups in prop::collection::vec(
+            prop::collection::vec((0u8..24, 0u8..6), 1..8), 1..6),
+        crash_mask in any::<u8>(),
+    ) {
+        let dir = TempDir::new("prop-gc").unwrap();
+        let lsm = LsmOptions { wal_sync: true, ..small_lsm() };
+        let cluster = Cluster::new(
+            dir.path(),
+            ClusterOptions { num_servers: 2, lsm },
+        ).unwrap();
+        cluster.create_table("t", 4).unwrap();
+        let di = DiffIndex::new(cluster.clone());
+        di.create_index(IndexSpec::single("ix", "t", "c", IndexScheme::SyncFull), 4).unwrap();
+
+        let mut truth: BTreeMap<String, String> = BTreeMap::new();
+        for (gi, group) in groups.iter().enumerate() {
+            // Distinct rows per group so the concurrent outcome is defined.
+            let mut batch: Vec<(u8, u8)> = Vec::new();
+            for (r, v) in group {
+                if !batch.iter().any(|(x, _)| x == r) {
+                    batch.push((*r, *v));
+                }
+            }
+            std::thread::scope(|s| {
+                let handles: Vec<_> = batch
+                    .iter()
+                    .map(|(r, v)| {
+                        let cluster = &cluster;
+                        let row = format!("row{r:02}");
+                        let val = format!("val{v}");
+                        s.spawn(move || {
+                            cluster.put("t", row.as_bytes(), &[(b("c"), b(&val))]).unwrap()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+            });
+            for (r, v) in &batch {
+                truth.insert(format!("row{r:02}"), format!("val{v}"));
+            }
+            if crash_mask & (1 << (gi % 8)) != 0 {
+                let server = (gi % 2) as u32;
+                cluster.crash_server(server);
+                cluster.recover().unwrap();
+                cluster.restart_server(server);
+            }
+        }
+        di.quiesce("t");
+        assert_projection(&di, &truth)?;
     }
 
     #[test]

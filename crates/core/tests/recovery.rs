@@ -232,3 +232,76 @@ fn repeated_crash_recover_cycles() {
     let hits = di.get_by_index("item", "title", b"multi", 1000).unwrap();
     assert_eq!(hits.len(), total);
 }
+
+#[test]
+fn double_replay_of_same_wal_segment_does_not_duplicate_entries() {
+    // §5.3: recovery replays the WAL and re-enqueues index maintenance for
+    // every replayed base op. Nothing is flushed between two consecutive
+    // crash/recover cycles here, so the SAME WAL segment replays twice —
+    // and because replayed maintenance reuses the base ops' original
+    // timestamps, the second replay must not duplicate entries, resurrect
+    // old entries (sync-full), or multiply stale entries (sync-insert).
+    for scheme in [IndexScheme::SyncFull, IndexScheme::SyncInsert] {
+        let (_d, cluster, di) = setup(scheme, 2);
+        for i in 0..15 {
+            cluster
+                .put("item", format!("item{i:02}").as_bytes(), &[(b("item_title"), b("first"))])
+                .unwrap();
+        }
+        // Overwrite ten rows: sync-full deletes the old entry at t−δ,
+        // sync-insert leaves exactly one stale entry per overwritten row.
+        for i in 0..10 {
+            cluster
+                .put("item", format!("item{i:02}").as_bytes(), &[(b("item_title"), b("second"))])
+                .unwrap();
+        }
+        di.quiesce("item");
+        let spec = std::sync::Arc::clone(&di.index("item", "title").unwrap().spec);
+        let index_table = spec.index_table();
+        let entries = |c: &Cluster| {
+            c.scan_rows(&index_table, b"", None, u64::MAX, usize::MAX).unwrap().len()
+        };
+        let baseline = entries(&cluster);
+        let expected = match scheme {
+            IndexScheme::SyncFull => 15,      // old entries deleted
+            IndexScheme::SyncInsert => 25,    // 15 live + 10 stale by design
+            _ => unreachable!(),
+        };
+        assert_eq!(baseline, expected, "{scheme:?}: baseline entry count");
+
+        // Two crash/recover cycles, alternating servers so the segment is
+        // replayed again after moving back. Replayed maintenance runs the
+        // full Algorithm-4 (BA3 may delete sync-insert's stale entries — a
+        // legitimate repair), so the invariant is: the entry count never
+        // GROWS past the baseline, and the 15 live entries never vanish.
+        let mut prev = baseline;
+        for sid in [0u32, 1] {
+            cluster.crash_server(sid);
+            cluster.recover().unwrap();
+            cluster.restart_server(sid);
+            di.quiesce("item");
+            let now = entries(&cluster);
+            assert!(
+                now <= prev,
+                "{scheme:?}: replay of server {sid} grew index {prev} -> {now} (duplicates)"
+            );
+            assert!(now >= 15, "{scheme:?}: replay of server {sid} lost live entries ({now})");
+            prev = now;
+        }
+
+        // Read results stay exact.
+        assert_eq!(di.get_by_index("item", "title", b"second", 100).unwrap().len(), 10);
+        assert_eq!(di.get_by_index("item", "title", b"first", 100).unwrap().len(), 5);
+        let report = diff_index_core::verify_index(&cluster, &spec).unwrap();
+        assert_eq!(report.missing_count(), 0, "{scheme:?}: replay lost entries");
+        match scheme {
+            IndexScheme::SyncFull => assert!(report.is_clean(), "{:?}", report.divergences),
+            IndexScheme::SyncInsert => assert!(
+                report.stale_count() <= 10,
+                "{scheme:?}: double replay multiplied stale entries ({})",
+                report.stale_count()
+            ),
+            _ => unreachable!(),
+        }
+    }
+}

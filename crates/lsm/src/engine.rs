@@ -40,6 +40,7 @@
 
 use crate::cache::BlockCache;
 use crate::compaction::{gc_merge, should_compact, GcPolicy};
+use crate::faults::FaultInjector;
 use crate::memtable::MemTable;
 use crate::merge::{MergeIter, VisibleIter};
 use crate::metrics::Metrics;
@@ -103,6 +104,13 @@ impl std::fmt::Debug for LsmOptions {
 /// hook that pauses and drains the AUQ (the paper's Figure 5: "1. pause &
 /// drain" happens before "2. flush" and "3. roll forward").
 pub type FlushHook = Box<dyn Fn() + Send + Sync>;
+
+/// Which engine crash point is asking the fault injector.
+#[derive(Clone, Copy)]
+enum FaultKind {
+    Fsync,
+    Append,
+}
 
 /// A memtable handle shared between the write path and snapshots. Only the
 /// snapshot's *active* handle is ever written to; frozen handles are
@@ -169,6 +177,9 @@ pub struct LsmTree {
     metrics: Arc<Metrics>,
     pre_flush_hooks: RwLock<Vec<FlushHook>>,
     post_flush_hooks: RwLock<Vec<FlushHook>>,
+    /// Optional chaos-testing hook: armed failures consumed at the WAL
+    /// append and fsync crash points. `None` in production.
+    faults: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 impl std::fmt::Debug for LsmTree {
@@ -270,6 +281,7 @@ impl LsmTree {
             metrics,
             pre_flush_hooks: RwLock::new(Vec::new()),
             post_flush_hooks: RwLock::new(Vec::new()),
+            faults: RwLock::new(None),
         };
         Ok((tree, replayed))
     }
@@ -292,6 +304,25 @@ impl LsmTree {
     /// Register a hook that runs immediately after each memtable flush.
     pub fn add_post_flush_hook(&self, hook: FlushHook) {
         self.post_flush_hooks.write().push(hook);
+    }
+
+    /// Attach a [`FaultInjector`] whose armed failures fire at this
+    /// engine's WAL crash points (chaos testing only). One injector may be
+    /// shared by many engines; whichever engine performs the next matching
+    /// operation consumes the armed failure.
+    pub fn set_fault_injector(&self, injector: Arc<FaultInjector>) {
+        *self.faults.write() = Some(injector);
+    }
+
+    /// True if an armed `kind` failure was consumed and the caller must
+    /// fail the current operation.
+    fn injected(&self, kind: FaultKind) -> bool {
+        let guard = self.faults.read();
+        match (guard.as_ref(), kind) {
+            (Some(f), FaultKind::Fsync) => f.take_fsync_failure(),
+            (Some(f), FaultKind::Append) => f.take_append_failure(),
+            (None, _) => false,
+        }
     }
 
     /// Clone the current snapshot `Arc`. The lock protects only the pointer
@@ -338,6 +369,11 @@ impl LsmTree {
     pub fn stage_batch(&self, cells: &[Cell]) -> Result<Option<WriteHandle>> {
         if cells.is_empty() {
             return Ok(None);
+        }
+        if self.injected(FaultKind::Append) {
+            // Injected *before* anything is staged: the write fails
+            // wholesale, exactly like a disk-full on the WAL append.
+            return Err(FaultInjector::injected_error("wal append"));
         }
         let mut ws = self.write_state.lock();
         let wal = ws
@@ -435,6 +471,13 @@ impl LsmTree {
                 .ok_or_else(|| LsmError::InvalidOperation("engine closed".into()))?;
             (wal.flush_and_clone()?, upto)
         };
+        if self.injected(FaultKind::Fsync) {
+            // The buffer already reached the OS file (flush_and_clone), so
+            // the record is *applied but unacked*: a crash + replay will
+            // recover it even though the writer saw an error — §5.3's
+            // ambiguous-outcome window, which recovery must repair.
+            return Err(FaultInjector::injected_error("wal fsync"));
+        }
         file.sync_data()?;
         Ok(upto)
     }

@@ -1,0 +1,158 @@
+//! Deterministic fault injection for the storage engine.
+//!
+//! A [`FaultInjector`] is a small bank of *armed* failure counters shared
+//! between a test harness and one or more engines (see
+//! [`LsmTree::set_fault_injector`](crate::LsmTree::set_fault_injector)).
+//! The harness arms N failures of a given kind; the next N times the engine
+//! reaches the corresponding crash point it returns an injected I/O error
+//! instead of performing the operation. Injection is purely subtractive —
+//! an injected failure never corrupts state, it only makes the engine
+//! behave exactly as if the underlying syscall had failed:
+//!
+//! * **fsync failures** fire in [`sync_wal`] *before* `File::sync_data`,
+//!   so the WAL record is staged (buffered, applied to the memtable) but
+//!   the group-commit leader reports an error and no waiter is acked —
+//!   the paper's §5.3 "server fails before index maintenance" window.
+//! * **append failures** fire in [`stage_batch`] *before* the buffered
+//!   WAL append, so the write is rejected wholesale (nothing staged).
+//!
+//! [`sync_wal`]: crate::LsmTree::complete
+//! [`stage_batch`]: crate::LsmTree::stage_batch
+//!
+//! All counters are atomics: arming and consuming are lock-free and safe
+//! from any thread. Everything is deterministic given a deterministic
+//! sequence of arm/operation calls — the chaos harness derives both from
+//! one seed.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Shared bank of armed failures plus counters of what actually fired.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    /// How many upcoming WAL fsyncs should fail.
+    armed_fsync_failures: AtomicU32,
+    /// How many upcoming WAL appends should fail.
+    armed_append_failures: AtomicU32,
+    /// Total injected fsync failures that actually fired.
+    fired_fsync_failures: AtomicU64,
+    /// Total injected append failures that actually fired.
+    fired_append_failures: AtomicU64,
+}
+
+/// Atomically consume one unit from an armed counter, saturating at zero.
+/// Returns true if a failure was consumed (i.e. the caller must fail).
+fn consume(armed: &AtomicU32) -> bool {
+    let mut cur = armed.load(Ordering::Acquire);
+    while cur > 0 {
+        match armed.compare_exchange_weak(cur, cur - 1, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+    false
+}
+
+impl FaultInjector {
+    /// A fresh injector with nothing armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm the next `n` WAL fsyncs to fail (cumulative with already-armed
+    /// failures).
+    pub fn arm_fsync_failures(&self, n: u32) {
+        self.armed_fsync_failures.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Arm the next `n` WAL appends to fail (cumulative).
+    pub fn arm_append_failures(&self, n: u32) {
+        self.armed_append_failures.fetch_add(n, Ordering::AcqRel);
+    }
+
+    /// Disarm every armed failure (end-of-scenario cleanup, so leftover
+    /// armed faults cannot leak into the verification phase).
+    pub fn disarm_all(&self) {
+        self.armed_fsync_failures.store(0, Ordering::Release);
+        self.armed_append_failures.store(0, Ordering::Release);
+    }
+
+    /// Engine-side check: should the fsync about to run fail instead?
+    pub fn take_fsync_failure(&self) -> bool {
+        let fire = consume(&self.armed_fsync_failures);
+        if fire {
+            self.fired_fsync_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Engine-side check: should the WAL append about to run fail instead?
+    pub fn take_append_failure(&self) -> bool {
+        let fire = consume(&self.armed_append_failures);
+        if fire {
+            self.fired_append_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        fire
+    }
+
+    /// Injected fsync failures that actually fired so far.
+    pub fn fired_fsync_failures(&self) -> u64 {
+        self.fired_fsync_failures.load(Ordering::Relaxed)
+    }
+
+    /// Injected append failures that actually fired so far.
+    pub fn fired_append_failures(&self) -> u64 {
+        self.fired_append_failures.load(Ordering::Relaxed)
+    }
+
+    /// True if any failure of any kind is still armed.
+    pub fn anything_armed(&self) -> bool {
+        self.armed_fsync_failures.load(Ordering::Acquire) > 0
+            || self.armed_append_failures.load(Ordering::Acquire) > 0
+    }
+
+    /// The error an injected fault surfaces as: indistinguishable from a
+    /// real failed syscall, so every layer above exercises its genuine
+    /// error path.
+    pub fn injected_error(what: &str) -> crate::LsmError {
+        crate::LsmError::Io(std::io::Error::other(format!("injected fault: {what}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_counts_are_consumed_exactly() {
+        let f = FaultInjector::new();
+        assert!(!f.take_fsync_failure());
+        f.arm_fsync_failures(2);
+        assert!(f.take_fsync_failure());
+        assert!(f.take_fsync_failure());
+        assert!(!f.take_fsync_failure());
+        assert_eq!(f.fired_fsync_failures(), 2);
+    }
+
+    #[test]
+    fn disarm_clears_everything() {
+        let f = FaultInjector::new();
+        f.arm_fsync_failures(5);
+        f.arm_append_failures(5);
+        assert!(f.anything_armed());
+        f.disarm_all();
+        assert!(!f.anything_armed());
+        assert!(!f.take_fsync_failure());
+        assert!(!f.take_append_failure());
+        assert_eq!(f.fired_fsync_failures(), 0);
+    }
+
+    #[test]
+    fn kinds_are_independent() {
+        let f = FaultInjector::new();
+        f.arm_append_failures(1);
+        assert!(!f.take_fsync_failure());
+        assert!(f.take_append_failure());
+        assert_eq!(f.fired_append_failures(), 1);
+        assert_eq!(f.fired_fsync_failures(), 0);
+    }
+}

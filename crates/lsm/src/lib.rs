@@ -31,6 +31,7 @@ pub mod bloom;
 pub mod cache;
 pub mod compaction;
 pub mod engine;
+pub mod faults;
 pub mod memtable;
 pub mod merge;
 pub mod metrics;
@@ -41,6 +42,7 @@ pub mod wal;
 
 pub use cache::BlockCache;
 pub use engine::{FlushHook, LsmOptions, LsmTree, WriteHandle};
+pub use faults::FaultInjector;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use sstable::{Block, TableOptions};
 pub use types::{Cell, CellKind, InternalKey, LsmError, Result, Timestamp, VersionedValue, DELTA};

@@ -39,10 +39,10 @@ use bytes::Bytes;
 use diff_index_cluster::{Cluster, ClusterError, Result, ServerId};
 use diff_index_core::{DiffIndex, IndexError};
 use parking_lot::Mutex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -91,6 +91,12 @@ struct Inner {
     /// the client just never learns. Exercises ambiguous-ack retries.
     drop_next_response: AtomicBool,
     conns: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Clones of every *live* connection's socket, keyed by connection id,
+    /// so fault injection can sever them from outside the reader threads.
+    /// Entries are removed when a connection ends — a lingering clone would
+    /// hold the duplicated fd open and suppress the FIN the client expects.
+    socks: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 /// A TCP frontend for one region server of an in-process cluster.
@@ -132,6 +138,8 @@ impl Server {
             metrics: NetMetrics::default(),
             drop_next_response: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
+            socks: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         });
         let accept_inner = Arc::clone(&inner);
         let accept = std::thread::Builder::new()
@@ -155,6 +163,27 @@ impl Server {
     /// [`Inner::drop_next_response`]'s semantics in the module docs.
     pub fn drop_next_response(&self) {
         self.inner.drop_next_response.store(true, Ordering::SeqCst);
+    }
+
+    /// Disarm a pending [`Server::drop_next_response`] that never fired, so
+    /// a leftover trigger cannot swallow the response of a later,
+    /// unrelated request (e.g. a verification read).
+    pub fn clear_drop_next_response(&self) {
+        self.inner.drop_next_response.store(false, Ordering::SeqCst);
+    }
+
+    /// Fault injection: abruptly sever every currently open client
+    /// connection (a network partition between client and this server).
+    /// Requests already dispatched still execute — only their responses are
+    /// lost — so every in-flight write becomes an ambiguous ack at the
+    /// client. Returns how many sockets were severed (dead ones included).
+    pub fn kill_connections(&self) -> usize {
+        let socks: Vec<TcpStream> =
+            self.inner.socks.lock().drain().map(|(_, s)| s).collect();
+        for s in &socks {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        socks.len()
     }
 
     /// Graceful, ordered shutdown: stop accepting, stop reading frames,
@@ -228,6 +257,12 @@ impl ServerGroup {
     /// Merged metrics across all listeners.
     pub fn metrics(&self) -> Vec<NetMetricsSnapshot> {
         self.servers.iter().map(|s| s.metrics()).collect()
+    }
+
+    /// Sever every open client connection on every listener (see
+    /// [`Server::kill_connections`]). Returns the total severed.
+    pub fn kill_connections(&self) -> usize {
+        self.servers.iter().map(Server::kill_connections).sum()
     }
 
     /// Shut every listener down gracefully (drains in-flight requests).
@@ -310,6 +345,23 @@ fn conn_loop(inner: &Arc<Inner>, mut stream: TcpStream) {
     let writer = match stream.try_clone() {
         Ok(w) => Arc::new(Mutex::new(w)),
         Err(_) => return,
+    };
+    // Register a clone for fault injection, and make sure it is dropped when
+    // this connection ends: a lingering clone would hold the duplicated fd
+    // open, suppressing the FIN/RST the client is waiting for.
+    struct SockGuard<'a>(&'a Inner, u64);
+    impl Drop for SockGuard<'_> {
+        fn drop(&mut self) {
+            self.0.socks.lock().remove(&self.1);
+        }
+    }
+    let conn_id = inner.next_conn_id.fetch_add(1, Ordering::Relaxed);
+    let _sock_guard = match stream.try_clone() {
+        Ok(s) => {
+            inner.socks.lock().insert(conn_id, s);
+            Some(SockGuard(inner, conn_id))
+        }
+        Err(_) => None,
     };
     loop {
         if inner.shutdown.load(Ordering::SeqCst) {

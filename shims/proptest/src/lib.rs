@@ -61,8 +61,17 @@ pub struct ProptestConfig {
 }
 
 impl Default for ProptestConfig {
+    /// 256 cases, overridable at runtime with the `PROPTEST_CASES`
+    /// environment variable — the same knob real proptest honours, so
+    /// `PROPTEST_CASES=512 cargo test` deepens every property that uses
+    /// the default config without a rebuild.
     fn default() -> Self {
-        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(256);
+        ProptestConfig { cases, max_shrink_iters: 1024 }
     }
 }
 
