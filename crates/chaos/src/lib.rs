@@ -7,9 +7,20 @@
 //! multi-region cluster — driven in-process or over the `net` loopback
 //! stack — interleaved with a fault schedule derived from the same seed:
 //! region-server crashes mid-put, WAL-fsync and WAL-append failures,
-//! connection kills between request and ack, dropped responses,
-//! crash/recovery cycles (which also exercise partition-map staleness in
-//! net mode), flush/compaction races, and AUQ worker stalls.
+//! connection kills between request and ack, dropped responses, outright
+//! server crashes, zombie resurrections, flush/compaction races, and AUQ
+//! worker stalls.
+//!
+//! Nobody schedules a recovery: the runner ticks a master-side
+//! [`diff_index_cluster::HealthMonitor`] once per step (probing over real
+//! TCP in net mode), so crashed servers are declared dead and healed —
+//! regions reassigned under bumped fencing epochs, WALs replayed, the
+//! process restarted — exactly as a production master would do it, and the
+//! client's partition map goes stale in net mode as a side effect. A
+//! resurrected zombie still holding its crash-time region view must have
+//! its writes fenced (`StaleEpoch`); with fencing sabotaged
+//! ([`diff_index_cluster::set_disable_fencing`]) its lost acked write must
+//! be caught by the checkers.
 //!
 //! Every client write is recorded into a
 //! [`diff_index_core::History`]; after the scenario quiesces, per-scheme
@@ -38,4 +49,4 @@ pub mod schedule;
 pub use checker::Violation;
 pub use rng::SplitMix64;
 pub use runner::{run_seed, RunOptions, RunOutcome};
-pub use schedule::{generate, Fault, Mode, Schedule, Step, StepOp};
+pub use schedule::{generate, Fault, Mode, Schedule, Step, StepOp, HEAL_STEPS};

@@ -5,6 +5,7 @@
 //! cargo run -p chaos -- --seed 1234 --scheme full   # replay one scenario
 //! cargo run -p chaos -- --seeds 200 --net           # force network mode
 //! cargo run -p chaos -- --seeds 50 --violate-delta  # sabotage §4.3; must FAIL
+//! cargo run -p chaos -- --seeds 50 --violate-fencing # disable epoch fence; must FAIL
 //! ```
 //!
 //! Exit status 0 = every scenario passed; 1 = at least one violation (each
@@ -20,6 +21,7 @@ struct Cli {
     schemes: Vec<IndexScheme>,
     force_mode: Option<Mode>,
     violate_delta: bool,
+    violate_fencing: bool,
     verbose: bool,
     artifact_dir: Option<String>,
 }
@@ -27,7 +29,8 @@ struct Cli {
 fn usage() -> ! {
     eprintln!(
         "usage: chaos [--seeds N] [--seed S | --start S0] [--scheme full|insert|async|session|all]\n\
-         \x20            [--net | --in-process] [--violate-delta] [--verbose] [--artifact-dir DIR]"
+         \x20            [--net | --in-process] [--violate-delta] [--violate-fencing]\n\
+         \x20            [--verbose] [--artifact-dir DIR]"
     );
     std::process::exit(2);
 }
@@ -39,6 +42,7 @@ fn parse_args() -> Cli {
         schemes: IndexScheme::all().to_vec(),
         force_mode: None,
         violate_delta: false,
+        violate_fencing: false,
         verbose: false,
         artifact_dir: None,
     };
@@ -68,6 +72,7 @@ fn parse_args() -> Cli {
             "--net" => cli.force_mode = Some(Mode::Net),
             "--in-process" => cli.force_mode = Some(Mode::InProcess),
             "--violate-delta" => cli.violate_delta = true,
+            "--violate-fencing" => cli.violate_fencing = true,
             "--verbose" => cli.verbose = true,
             "--artifact-dir" => cli.artifact_dir = Some(value("--artifact-dir")),
             "--help" | "-h" => usage(),
@@ -126,6 +131,10 @@ fn main() {
     if cli.violate_delta {
         eprintln!("sabotage: §4.3 old-entry timestamp rule DISABLED (expect violations)");
         diff_index_core::set_violate_delta(true);
+    }
+    if cli.violate_fencing {
+        eprintln!("sabotage: epoch fencing DISABLED — zombies ack lost writes (expect violations)");
+        diff_index_cluster::set_disable_fencing(true);
     }
     let opts = RunOptions { force_mode: cli.force_mode, verbose: cli.verbose };
     let mut passed = 0u64;

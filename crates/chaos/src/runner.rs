@@ -1,6 +1,19 @@
 //! Scenario execution: build the environment a schedule asks for, drive
 //! its steps, then repair, quiesce, and check.
 //!
+//! ## Self-healing
+//!
+//! Nothing in a schedule recovers a crashed server explicitly. The runner
+//! owns a master-side [`HealthMonitor`] and ticks it once after every step
+//! (in net mode probing over real TCP via `Ping`), so a `CrashServer`
+//! fault is detected (`Healthy → Suspect → Dead`), its regions recovered
+//! with bumped fencing epochs, and the server process restarted — all
+//! within [`schedule::HEAL_STEPS`] steps, exactly as a production master
+//! would do it. A `ResurrectZombie` fault then replays the classic
+//! split-brain hazard: the healed server still holds its crash-time region
+//! view, and only the epoch fence keeps its ack from becoming a lost
+//! write.
+//!
 //! ## End-of-run phases (order matters)
 //!
 //! 1. **Un-wedge**: resume stalled AUQ workers, disarm every injector,
@@ -10,9 +23,10 @@
 //!    turn. WAL replay re-applies staged writes and re-enqueues index
 //!    maintenance for every replayed base op (§5.3) — this is the
 //!    mechanism that closes the window a crash-mid-put or failed fsync
-//!    opened. This is exactly why the schedule generator suppresses
-//!    `Flush` while dirty: flushing would truncate the WAL evidence this
-//!    phase replays.
+//!    opened (a `CrashNextPut` landing on the final step has not had a
+//!    monitor tick to heal it yet). This is exactly why the schedule
+//!    generator suppresses `Flush` while dirty: flushing would truncate
+//!    the WAL evidence this phase replays.
 //! 3. **Quiesce**: drain every AUQ.
 //! 4. **Check**: no lost acked writes, index/base agreement, read
 //!    agreement for the whole value alphabet, and zero dropped AUQ tasks.
@@ -23,9 +37,10 @@ use crate::schedule::{
     NUM_VALUES,
 };
 use bytes::Bytes;
-use diff_index_cluster::{Cluster, ClusterOptions};
+use diff_index_cluster::{Cluster, ClusterOptions, HealthMonitor, HealthOptions};
 use diff_index_core::{
-    DiffIndex, IndexScheme, IndexSpec, RecordingStore, Session, Store, WriteRecord,
+    DiffIndex, IndexScheme, IndexSpec, RecordingStore, Session, Store, WriteKind, WriteOutcome,
+    WriteRecord,
 };
 use diff_index_net::{RemoteClient, ServerGroup};
 use std::collections::HashMap;
@@ -109,6 +124,9 @@ struct Env {
     /// `DiffIndex` in net mode (that is where the AUQs live).
     admin_di: DiffIndex,
     recorder: Arc<RecordingStore>,
+    /// Net-mode handle to the remote client, kept unwrapped so the health
+    /// monitor can probe liveness over real TCP (`ping_server`).
+    remote: Option<RemoteClient>,
     group: Option<ServerGroup>,
     cluster: Cluster,
     _dir: tempdir_lite::TempDir,
@@ -143,14 +161,22 @@ fn build_env(sched: &Schedule) -> Result<Env, String> {
             let store: Arc<dyn Store> = Arc::clone(&recorder) as Arc<dyn Store>;
             let di = DiffIndex::local_over_store(cluster.clone(), store);
             di.create_index(spec, INDEX_REGIONS).map_err(|e| format!("create index: {e}"))?;
-            Ok(Env { admin_di: di.clone(), di, recorder, group: None, cluster, _dir: dir })
+            Ok(Env {
+                admin_di: di.clone(),
+                di,
+                recorder,
+                remote: None,
+                group: None,
+                cluster,
+                _dir: dir,
+            })
         }
         Mode::Net => {
             let server_di = DiffIndex::new(cluster.clone());
             let group = ServerGroup::start(&server_di).map_err(|e| format!("servers: {e}"))?;
             let remote = RemoteClient::connect_default(group.addrs())
                 .map_err(|e| format!("connect: {e}"))?;
-            let recorder = Arc::new(RecordingStore::new(Arc::new(remote)));
+            let recorder = Arc::new(RecordingStore::new(Arc::new(remote.clone())));
             let store: Arc<dyn Store> = Arc::clone(&recorder) as Arc<dyn Store>;
             let di = DiffIndex::over_store(store);
             di.create_index(spec, INDEX_REGIONS).map_err(|e| format!("create index: {e}"))?;
@@ -158,6 +184,7 @@ fn build_env(sched: &Schedule) -> Result<Env, String> {
                 di,
                 admin_di: server_di,
                 recorder,
+                remote: Some(remote),
                 group: Some(group),
                 cluster,
                 _dir: dir,
@@ -271,6 +298,17 @@ fn drive(sched: &Schedule, env: &Env, opts: &RunOptions) -> Vec<Violation> {
     let mut violations = Vec::new();
     let fault_free = !sched.has_faults();
     let store: &dyn Store = env.recorder.as_ref();
+
+    // The master's failure detector, ticked once per step so healing is a
+    // deterministic function of the schedule (`dead_after` ticks after a
+    // crash, regions are reassigned and the server process restarted). In
+    // net mode the probe goes over real TCP: a dead server's listener still
+    // accepts, but its `Ping` answers `ServerDown`.
+    let monitor = HealthMonitor::new(&env.cluster, HealthOptions::default());
+    if let Some(remote) = &env.remote {
+        let probe = remote.clone();
+        monitor.set_probe(Box::new(move |sid| probe.ping_server(sid).is_ok()));
+    }
     let session: Option<Session> =
         (sched.scheme == IndexScheme::AsyncSession).then(|| env.di.session());
     // Rows whose latest write came from the session (value index): those
@@ -285,6 +323,13 @@ fn drive(sched: &Schedule, env: &Env, opts: &RunOptions) -> Vec<Violation> {
             eprintln!("  step {i}: {step:?}");
         }
         match step {
+            Step::Fault(Fault::ResurrectZombie { server, row, value }) => {
+                // The zombie's write (fenced-then-retried, or — sabotaged —
+                // acked and lost) is the row's latest write and does not come
+                // from the session.
+                session_rows.remove(row);
+                resurrect_zombie(*server, *row, *value, env, store, &mut violations);
+            }
             Step::Fault(fault) => inject(fault, env),
             Step::Op(op) => {
                 run_op(
@@ -299,6 +344,13 @@ fn drive(sched: &Schedule, env: &Env, opts: &RunOptions) -> Vec<Violation> {
                 );
             }
         }
+        // One probe round per step; newly declared deaths were already
+        // healed inside the tick (regions reassigned, WALs replayed), so
+        // all that is left is to model the server process rebooting —
+        // empty-handed, but still holding its crash-time region view.
+        for sid in monitor.tick() {
+            env.cluster.restart_server(sid);
+        }
     }
     violations
 }
@@ -309,16 +361,8 @@ fn inject(fault: &Fault, env: &Env) {
         Fault::FsyncFail { count } => env.cluster.faults().lsm().arm_fsync_failures(*count),
         Fault::AppendFail { count } => env.cluster.faults().lsm().arm_append_failures(*count),
         Fault::CrashServer { server } => env.cluster.crash_server(*server),
-        Fault::Recover => {
-            // Errors here would mean recovery itself is broken; surface
-            // that loudly rather than limping on.
-            env.cluster.recover().expect("master recovery failed");
-            for sid in 0..NUM_SERVERS as u32 {
-                if !env.cluster.servers().contains(&sid) {
-                    env.cluster.restart_server(sid);
-                }
-            }
-        }
+        // Handled in `drive` (needs session bookkeeping + the recorder).
+        Fault::ResurrectZombie { .. } => unreachable!("handled in drive"),
         Fault::KillConnections => {
             if let Some(group) = &env.group {
                 group.kill_connections();
@@ -331,6 +375,49 @@ fn inject(fault: &Fault, env: &Env) {
         }
         Fault::StallAuq => set_auq_stalled(env, true),
         Fault::ResumeAuq => set_auq_stalled(env, false),
+    }
+}
+
+/// A healed server comes back from the dead still holding its crash-time
+/// region view, and tries to serve a client write for a region that moved
+/// away while it was down. Epoch fencing must reject it; the modeled client
+/// then fails over and re-issues the write through the current map (a
+/// normal, recorded write). If the zombie *acks* — only possible with
+/// fencing sabotaged or broken — the ack is recorded exactly as the client
+/// observed it, so the final-state checker sees the lost write.
+fn resurrect_zombie(
+    server: u32,
+    row: u8,
+    value: u8,
+    env: &Env,
+    store: &dyn Store,
+    violations: &mut Vec<Violation>,
+) {
+    let cols = vec![(Bytes::copy_from_slice(COLUMN), value_bytes(value))];
+    match env.cluster.zombie_put(server, BASE_TABLE, &row_key(row), &cols) {
+        Err(_) => {
+            // StaleEpoch (fenced), NotServing (the zombie never owned the
+            // row's region) or ServerDown (region never reassigned): the
+            // client retries through the current partition map.
+            let _ = store.put(BASE_TABLE, &row_key(row), &cols);
+        }
+        Ok(ts) => {
+            if !diff_index_cluster::fencing_disabled() {
+                violations.push(Violation {
+                    check: "zombie-fence",
+                    detail: format!(
+                        "zombie server {server} acked a write to row{row:02} \
+                         with fencing enabled"
+                    ),
+                });
+            }
+            env.recorder.history().record(
+                BASE_TABLE,
+                &row_key(row),
+                WriteKind::Put { columns: cols },
+                WriteOutcome::Acked { ts },
+            );
+        }
     }
 }
 

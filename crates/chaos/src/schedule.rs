@@ -10,8 +10,15 @@
 //!   whose index maintenance was skipped (§5.3 window) — `Flush`/`Compact`
 //!   are suppressed, because flushing would truncate the WAL evidence that
 //!   end-of-run crash-recovery replay needs to repair the index;
-//! * a crashed server is always followed by `Recover` within a bounded
-//!   number of steps, so AUQ retries cannot exhaust their budget;
+//! * nobody schedules a recovery: the runner ticks the master's
+//!   [`HealthMonitor`](diff_index_cluster::HealthMonitor) once per step, so
+//!   a crashed server is declared dead and healed (regions reassigned with
+//!   bumped fencing epochs, WALs replayed) within [`HEAL_STEPS`] steps of
+//!   the crash — the generator models that deadline so AUQ retries cannot
+//!   exhaust their budget;
+//! * a server whose crash already healed is a **zombie candidate**: it may
+//!   be resurrected mid-run, still holding its crash-time view of region
+//!   ownership, and must have its writes fenced by the epoch check;
 //! * at most one server is down at a time (of three), so a majority of
 //!   regions stays reachable;
 //! * connection-level faults only appear in [`Mode::Net`] scenarios, and a
@@ -30,8 +37,12 @@ pub const INDEX_REGIONS: usize = 4;
 pub const NUM_ROWS: u8 = 48;
 /// Value alphabet size (`v0` … `v5`).
 pub const NUM_VALUES: u8 = 6;
-/// A crashed server must be recovered within this many steps.
-const MAX_STEPS_CRASHED: u32 = 8;
+/// Steps after a crash within which the runner's per-step health-monitor
+/// tick has declared the server dead and healed the cluster: the crash
+/// step's own tick is the first missed probe (Suspect), the next step's
+/// tick the second (`dead_after = 2` → Dead, auto-recovery, restart). The
+/// generator treats the server as down for exactly this many steps.
+pub const HEAL_STEPS: u32 = 2;
 
 /// How the client talks to the cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,16 +123,30 @@ pub enum Fault {
         /// How many appends to fail.
         count: u32,
     },
-    /// Crash a region server outright (its regions go dark until
-    /// [`Fault::Recover`]).
+    /// Crash a region server outright. Its regions go dark until the
+    /// runner's per-step health-monitor tick declares it dead and heals the
+    /// cluster (reassignment with bumped epochs, WAL replay, restart) — at
+    /// most [`HEAL_STEPS`] steps later. In net mode the healing also leaves
+    /// the client's partition map stale until its next refresh.
     CrashServer {
         /// Server id to crash.
         server: u32,
     },
-    /// Master recovery: reassign dead servers' regions, WAL-replay them,
-    /// restart the servers. In net mode this also leaves the client's
-    /// partition map stale until its next `NotServing` refresh.
-    Recover,
+    /// A previously crashed-and-healed server comes back from the dead
+    /// still holding its crash-time view of region ownership, and tries to
+    /// serve a write for a region that moved away while it was dead. Epoch
+    /// fencing must reject the write (`StaleEpoch`); the modeled client
+    /// then fails over and re-issues it through the current map. With
+    /// fencing sabotaged the zombie acks a write nobody applied — a lost
+    /// acked write the checkers must catch.
+    ResurrectZombie {
+        /// The healed server to resurrect.
+        server: u32,
+        /// Row index the zombie write targets.
+        row: u8,
+        /// Value index the zombie write carries.
+        value: u8,
+    },
     /// Sever every open client connection (net mode only); in-flight
     /// requests become ambiguous acks.
     KillConnections,
@@ -201,18 +226,21 @@ pub fn generate(seed: u64, scheme: IndexScheme, force_mode: Option<Mode>) -> Sch
     let mut dirty = false; // §5.3 window may be open: no flush/compact
     let mut crashed: Option<u32> = None;
     let mut steps_since_crash = 0u32;
+    // A server whose crash already healed: the runner restarted it, but it
+    // still holds its crash-time region view — a resurrection candidate.
+    let mut zombie: Option<u32> = None;
     let mut stalled = false;
     let mut ops_emitted = 0u64;
 
     while ops_emitted < n_ops {
-        // Forced recovery: never leave a server down for long.
-        if crashed.is_some() {
+        // Self-healing model: the monitor tick after each step walks a
+        // crashed server Suspect → Dead and heals it; no step schedules a
+        // recovery explicitly.
+        if let Some(server) = crashed {
             steps_since_crash += 1;
-            if steps_since_crash >= MAX_STEPS_CRASHED {
-                steps.push(Step::Fault(Fault::Recover));
+            if steps_since_crash >= HEAL_STEPS {
                 crashed = None;
-                steps_since_crash = 0;
-                continue;
+                zombie = Some(server);
             }
         }
 
@@ -227,8 +255,13 @@ pub fn generate(seed: u64, scheme: IndexScheme, force_mode: Option<Mode>) -> Sch
                 candidates.push(Fault::CrashServer {
                     server: rng.below(NUM_SERVERS as u64) as u32,
                 });
-            } else {
-                candidates.push(Fault::Recover);
+                if let Some(server) = zombie {
+                    candidates.push(Fault::ResurrectZombie {
+                        server,
+                        row: rng.below(NUM_ROWS as u64) as u8,
+                        value: rng.below(NUM_VALUES as u64) as u8,
+                    });
+                }
             }
             if mode == Mode::Net {
                 candidates.push(Fault::KillConnections);
@@ -248,10 +281,7 @@ pub fn generate(seed: u64, scheme: IndexScheme, force_mode: Option<Mode>) -> Sch
                     crashed = Some(*server);
                     steps_since_crash = 0;
                 }
-                Fault::Recover => {
-                    crashed = None;
-                    steps_since_crash = 0;
-                }
+                Fault::ResurrectZombie { .. } => zombie = None,
                 Fault::StallAuq => stalled = true,
                 Fault::ResumeAuq => stalled = false,
                 _ => {}
@@ -300,11 +330,16 @@ pub fn generate(seed: u64, scheme: IndexScheme, force_mode: Option<Mode>) -> Sch
         ops_emitted += 1;
     }
 
-    // Close out dangling state: recover any crashed server and resume a
-    // stalled AUQ so the schedule itself is well-formed (the runner's
-    // end-phase does this again defensively).
-    if crashed.is_some() {
-        steps.push(Step::Fault(Fault::Recover));
+    // Close out dangling state: pad with reads until an in-flight crash has
+    // healed (each padding step buys the runner one more monitor tick), and
+    // resume a stalled AUQ so the schedule itself is well-formed (the
+    // runner's end-phase repairs again defensively).
+    while crashed.is_some() {
+        steps.push(Step::Op(StepOp::IndexRead { value: rng.below(NUM_VALUES as u64) as u8 }));
+        steps_since_crash += 1;
+        if steps_since_crash >= HEAL_STEPS {
+            crashed = None;
+        }
     }
     if stalled {
         steps.push(Step::Fault(Fault::ResumeAuq));
@@ -337,20 +372,25 @@ mod tests {
 
     #[test]
     fn constraints_hold_across_many_seeds() {
+        let mut zombie_schedules = 0u32;
         for seed in 0..500 {
             for scheme in IndexScheme::all() {
                 let s = generate(seed, scheme, None);
                 let mut dirty = false;
                 let mut crashed: Option<u32> = None;
                 let mut down_steps = 0u32;
+                let mut zombie: Option<u32> = None;
                 let mut stalled = false;
                 for step in &s.steps {
-                    if crashed.is_some() {
+                    // Mirror the self-healing model: the monitor tick after
+                    // each step heals a crash within HEAL_STEPS of it.
+                    if let Some(server) = crashed {
                         down_steps += 1;
-                        assert!(
-                            down_steps <= MAX_STEPS_CRASHED + 1,
-                            "seed {seed}: server down too long"
-                        );
+                        assert!(down_steps <= HEAL_STEPS, "seed {seed}: server down too long");
+                        if down_steps >= HEAL_STEPS {
+                            crashed = None;
+                            zombie = Some(server);
+                        }
                     }
                     match step {
                         Step::Fault(Fault::FsyncFail { .. }) => {
@@ -364,9 +404,18 @@ mod tests {
                             crashed = Some(*server);
                             down_steps = 0;
                         }
-                        Step::Fault(Fault::Recover) => {
-                            crashed = None;
-                            down_steps = 0;
+                        Step::Fault(Fault::ResurrectZombie { server, .. }) => {
+                            assert_eq!(
+                                zombie,
+                                Some(*server),
+                                "seed {seed}: zombie fault without a healed crash of {server}"
+                            );
+                            assert!(
+                                crashed.is_none(),
+                                "seed {seed}: zombie resurrected while another server is down"
+                            );
+                            zombie = None;
+                            zombie_schedules += 1;
                         }
                         Step::Fault(Fault::KillConnections)
                         | Step::Fault(Fault::DropNextResponse { .. }) => {
@@ -390,5 +439,8 @@ mod tests {
                 assert!(s.op_count() >= 30);
             }
         }
+        // The zombie fault must actually occur across the corpus, or the
+        // fencing path would go unexercised.
+        assert!(zombie_schedules > 0, "no schedule ever resurrected a zombie");
     }
 }

@@ -20,8 +20,24 @@ use diff_index_lsm::{Cell, CellKind, LsmOptions, LsmTree, MetricsSnapshot, Versi
 use parking_lot::RwLock;
 use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
+
+/// Process-global sabotage switch for the chaos harness: when set, epoch
+/// fencing is disabled and [`Cluster::zombie_put`] *accepts* writes it should
+/// reject — an end-to-end proof that the consistency checkers catch an
+/// unfenced zombie write (lost acked write). Never set outside tests.
+static DISABLE_FENCING: AtomicBool = AtomicBool::new(false);
+
+/// Enable/disable the epoch-fencing sabotage (chaos-harness selftests only).
+pub fn set_disable_fencing(disabled: bool) {
+    DISABLE_FENCING.store(disabled, Ordering::SeqCst);
+}
+
+/// True if epoch fencing has been sabotaged via [`set_disable_fencing`].
+pub fn fencing_disabled() -> bool {
+    DISABLE_FENCING.load(Ordering::SeqCst)
+}
 
 /// One whole row: its key plus the visible `(column, value)` cells, as
 /// returned by the grouped row scans.
@@ -181,6 +197,11 @@ struct TableState {
 struct ServerState {
     clock: Arc<TimestampOracle>,
     alive: bool,
+    /// The regions (and their fencing epochs) this server believed it owned
+    /// at the moment it crashed — the stale view a "zombie" (declared dead
+    /// but still reachable) would serve writes against. Populated by
+    /// `crash_server`, consulted by `zombie_put` to prove the fence holds.
+    stale_view: HashMap<String, Vec<(RegionId, u64)>>,
 }
 
 struct Inner {
@@ -200,6 +221,26 @@ struct Inner {
     fanout: FanoutPool,
     /// Chaos-testing fault surface; unarmed (and free) in production.
     faults: FaultPlan,
+    /// §5.3 recovery bookkeeping (how often, how much moved/replayed).
+    recoveries: AtomicU64,
+    regions_recovered: AtomicU64,
+    replayed_ops: AtomicU64,
+    /// Writes rejected by the epoch fence (zombie writes, stale clients).
+    fenced_writes: AtomicU64,
+}
+
+/// Counters describing the master's §5.3 recovery activity — evidence the
+/// self-healing path actually ran (and how much it moved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Completed `recover()` invocations.
+    pub recoveries: u64,
+    /// Regions reassigned + reopened across all recoveries.
+    pub regions_recovered: u64,
+    /// Base operations restored from WALs and delivered to observers.
+    pub replayed_ops: u64,
+    /// Writes rejected with [`ClusterError::StaleEpoch`].
+    pub fenced_writes: u64,
 }
 
 /// Handle to the cluster; cheap to clone, shared with coprocessors.
@@ -259,7 +300,16 @@ impl Cluster {
         let dir = dir.into();
         std::fs::create_dir_all(&dir).map_err(diff_index_lsm::LsmError::from)?;
         let servers = (0..opts.num_servers as ServerId)
-            .map(|id| (id, ServerState { clock: Arc::new(TimestampOracle::new()), alive: true }))
+            .map(|id| {
+                (
+                    id,
+                    ServerState {
+                        clock: Arc::new(TimestampOracle::new()),
+                        alive: true,
+                        stale_view: HashMap::new(),
+                    },
+                )
+            })
             .collect();
         Ok(Self {
             inner: Arc::new(Inner {
@@ -271,6 +321,10 @@ impl Cluster {
                 next_observer_id: AtomicU64::new(1),
                 fanout: FanoutPool::new_default(),
                 faults: FaultPlan::default(),
+                recoveries: AtomicU64::new(0),
+                regions_recovered: AtomicU64::new(0),
+                replayed_ops: AtomicU64::new(0),
+                fenced_writes: AtomicU64::new(0),
             }),
         })
     }
@@ -870,24 +924,31 @@ impl Cluster {
     /// SSTables survive on durable storage) and requests routed to it fail
     /// with [`ClusterError::ServerDown`] until [`Cluster::recover`] runs.
     pub fn crash_server(&self, server: ServerId) {
+        // Drop the engines hosted by the dead server, discarding memtables —
+        // and capture the dying server's view of its ownership (region ids +
+        // fencing epochs): the stale map a zombie would keep serving from.
+        let mut stale_view: HashMap<String, Vec<(RegionId, u64)>> = HashMap::new();
         {
-            let mut servers = self.inner.servers.write();
-            if let Some(s) = servers.get_mut(&server) {
-                s.alive = false;
+            let mut tables = self.inner.tables.write();
+            for (name, state) in tables.iter_mut() {
+                let victims: Vec<(RegionId, u64)> = state
+                    .map
+                    .entries()
+                    .filter(|(_, s, _)| *s == server)
+                    .map(|(r, _, epoch)| (r.id, epoch))
+                    .collect();
+                for (id, _) in &victims {
+                    state.regions.remove(id);
+                }
+                if !victims.is_empty() {
+                    stale_view.insert(name.clone(), victims);
+                }
             }
         }
-        // Drop the engines hosted by the dead server, discarding memtables.
-        let mut tables = self.inner.tables.write();
-        for state in tables.values_mut() {
-            let victim_ids: Vec<RegionId> = state
-                .map
-                .regions()
-                .filter(|(_, s)| *s == server)
-                .map(|(r, _)| r.id)
-                .collect();
-            for id in victim_ids {
-                state.regions.remove(&id);
-            }
+        let mut servers = self.inner.servers.write();
+        if let Some(s) = servers.get_mut(&server) {
+            s.alive = false;
+            s.stale_view = stale_view;
         }
     }
 
@@ -916,6 +977,33 @@ impl Cluster {
         if alive.is_empty() {
             return Err(ClusterError::Unavailable("no surviving servers".into()));
         }
+        // Open the §5.3 recovery window: observers hold their AUQ workers so
+        // queued tasks for dead regions stop burning retries; they resume —
+        // now draining against the new owners — when the window closes.
+        let hooked: Vec<(String, Vec<Arc<dyn TableObserver>>)> = {
+            let tables = self.inner.tables.read();
+            tables
+                .iter()
+                .map(|(name, state)| {
+                    (name.clone(), state.observers.iter().map(|(_, o)| Arc::clone(o)).collect())
+                })
+                .collect()
+        };
+        for (table, observers) in &hooked {
+            for obs in observers {
+                obs.pre_recovery(self, table);
+            }
+        }
+        let result = self.recover_inner(&dead, &alive);
+        for (table, observers) in &hooked {
+            for obs in observers {
+                obs.post_recovery(self, table);
+            }
+        }
+        result
+    }
+
+    fn recover_inner(&self, dead: &[ServerId], alive: &[ServerId]) -> Result<()> {
         // Collect the replay work while holding the write lock, dispatch
         // observers after releasing it (observers issue cluster ops).
         let mut replays: Vec<(String, Vec<ReplayedOp>)> = Vec::new();
@@ -923,9 +1011,10 @@ impl Cluster {
             let mut tables = self.inner.tables.write();
             for (name, state) in tables.iter_mut() {
                 let mut moved: Vec<RegionId> = Vec::new();
-                for &d in &dead {
-                    moved.extend(state.map.reassign(d, &alive));
+                for &d in dead {
+                    moved.extend(state.map.reassign(d, alive));
                 }
+                self.inner.regions_recovered.fetch_add(moved.len() as u64, Ordering::Relaxed);
                 for id in moved {
                     let spec = state
                         .map
@@ -974,12 +1063,14 @@ impl Cluster {
         }
         for (table, ops) in replays {
             let observers = self.observers_of(&table);
+            self.inner.replayed_ops.fetch_add(ops.len() as u64, Ordering::Relaxed);
             for op in &ops {
                 for obs in &observers {
                     obs.post_replay(self, &table, op)?;
                 }
             }
         }
+        self.inner.recoveries.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -1014,14 +1105,22 @@ impl Cluster {
     }
 
     /// A client-cacheable snapshot of `table`'s partition map: for each
-    /// region in key order, its encoded start key, region id, and the
-    /// server currently hosting it. This is what a remote client caches and
-    /// routes by; it goes stale when the master reassigns regions, which the
-    /// client discovers via [`ClusterError::NotServing`].
-    pub fn partition_snapshot(&self, table: &str) -> Result<Vec<(Bytes, RegionId, ServerId)>> {
+    /// region in key order, its encoded start key, region id, the server
+    /// currently hosting it, and the assignment's fencing epoch. This is
+    /// what a remote client caches and routes by; it goes stale when the
+    /// master reassigns regions, which the client discovers via
+    /// [`ClusterError::NotServing`] or [`ClusterError::StaleEpoch`].
+    pub fn partition_snapshot(
+        &self,
+        table: &str,
+    ) -> Result<Vec<(Bytes, RegionId, ServerId, u64)>> {
         let tables = self.inner.tables.read();
         let state = tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
-        Ok(state.map.regions().map(|(spec, server)| (spec.start.clone(), spec.id, server)).collect())
+        Ok(state
+            .map
+            .entries()
+            .map(|(spec, server, epoch)| (spec.start.clone(), spec.id, server, epoch))
+            .collect())
     }
 
     /// The server currently hosting `row` of `table` (same row-key encoding
@@ -1032,6 +1131,113 @@ impl Cluster {
         let tables = self.inner.tables.read();
         let state = tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
         Ok(state.map.server_for(&row_start(row)))
+    }
+
+    /// The current fencing epoch of the region hosting `row` of `table`.
+    pub fn epoch_for_row(&self, table: &str, row: &[u8]) -> Result<u64> {
+        let tables = self.inner.tables.read();
+        let state = tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
+        Ok(state.map.epoch_for(&row_start(row)))
+    }
+
+    /// Fencing check for a write stamped with the epoch the sender believes
+    /// the target region has. A stale stamp proves the sender's partition
+    /// map predates a failover: the write is rejected with
+    /// [`ClusterError::StaleEpoch`] carrying the current owner and epoch so
+    /// the sender can refresh and re-route. Region servers call this for
+    /// every row-addressed write arriving over the wire.
+    pub fn check_write_epoch(&self, table: &str, row: &[u8], stamped: u64) -> Result<()> {
+        let (owner, epoch) = {
+            let tables = self.inner.tables.read();
+            let state =
+                tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
+            let enc = row_start(row);
+            (state.map.server_for(&enc), state.map.epoch_for(&enc))
+        };
+        if stamped != epoch && !fencing_disabled() {
+            self.inner.fenced_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(ClusterError::StaleEpoch { owner, epoch });
+        }
+        Ok(())
+    }
+
+    /// A write arriving at a **zombie** — server `server` was declared dead
+    /// and its regions reassigned, but it is still reachable and still holds
+    /// its crash-time view of the partition map. The zombie checks the
+    /// fencing epoch recorded in its stale view against the region's current
+    /// epoch and must reject the write with [`ClusterError::StaleEpoch`]:
+    /// accepting it would ack a write into discarded state (split-brain,
+    /// a lost acked write). With fencing sabotaged
+    /// ([`set_disable_fencing`]), the zombie acks the write *without
+    /// applying it anywhere authoritative* — exactly the failure mode the
+    /// chaos checkers must catch.
+    pub fn zombie_put(
+        &self,
+        server: ServerId,
+        table: &str,
+        row: &[u8],
+        _columns: &[ColumnValue],
+    ) -> Result<u64> {
+        let enc = row_start(row);
+        let (region_id, owner, current_epoch) = {
+            let tables = self.inner.tables.read();
+            let state =
+                tables.get(table).ok_or_else(|| ClusterError::NoSuchTable(table.into()))?;
+            let spec = state.map.locate(&enc);
+            (
+                spec.id,
+                state.map.server_for(&enc),
+                state.map.epoch_for(&enc),
+            )
+        };
+        let servers = self.inner.servers.read();
+        let zombie =
+            servers.get(&server).ok_or(ClusterError::ServerDown(server))?;
+        let stale_epoch = zombie
+            .stale_view
+            .get(table)
+            .and_then(|v| v.iter().find(|(id, _)| *id == region_id))
+            .map(|(_, e)| *e);
+        let Some(stale_epoch) = stale_epoch else {
+            // The zombie never owned this row's region: even its own stale
+            // map says "not mine".
+            return Err(ClusterError::NotServing { owner });
+        };
+        if stale_epoch == current_epoch {
+            // The region has not been reassigned yet (the master has not
+            // declared this server dead): there is no new owner to protect,
+            // and the crashed engine cannot serve — plain unavailability.
+            return Err(ClusterError::ServerDown(server));
+        }
+        if !fencing_disabled() {
+            self.inner.fenced_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(ClusterError::StaleEpoch { owner, epoch: current_epoch });
+        }
+        // SABOTAGED: the zombie acks with a timestamp from its own clock.
+        // The write lands only in the zombie's doomed state (never visible
+        // to the cluster), so this ack is a lie — a lost acked write.
+        Ok(zombie.clock.next())
+    }
+
+    /// Liveness of one server (the in-process health probe).
+    pub fn is_alive(&self, server: ServerId) -> bool {
+        self.inner.servers.read().get(&server).map(|s| s.alive).unwrap_or(false)
+    }
+
+    /// Ids of every server the cluster was built with, alive or dead — the
+    /// set a health monitor probes.
+    pub fn all_server_ids(&self) -> Vec<ServerId> {
+        self.inner.servers.read().keys().copied().collect()
+    }
+
+    /// §5.3 recovery + fencing counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        RecoveryStats {
+            recoveries: self.inner.recoveries.load(Ordering::Relaxed),
+            regions_recovered: self.inner.regions_recovered.load(Ordering::Relaxed),
+            replayed_ops: self.inner.replayed_ops.load(Ordering::Relaxed),
+            fenced_writes: self.inner.fenced_writes.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of regions of `table`.
@@ -1412,13 +1618,88 @@ mod tests {
         for w in snap.windows(2) {
             assert!(w[0].0 < w[1].0, "snapshot must be in key order");
         }
-        // Client-side routing over the snapshot agrees with the server.
+        // Client-side routing over the snapshot agrees with the server, and
+        // the snapshot's epochs agree with the fencing authority.
         for row in [&b"a"[..], b"m", b"z", b"\xff\xff", b""] {
             let enc = row_start(row);
-            let idx = snap.partition_point(|(start, _, _)| start.as_ref() <= enc.as_slice());
-            let client_owner = snap[idx.saturating_sub(1)].2;
+            let idx = snap.partition_point(|(start, _, _, _)| start.as_ref() <= enc.as_slice());
+            let (_, _, client_owner, client_epoch) = snap[idx.saturating_sub(1)];
             assert_eq!(client_owner, c.server_for_row("t", row).unwrap());
+            assert_eq!(client_epoch, c.epoch_for_row("t", row).unwrap());
         }
+    }
+
+    #[test]
+    fn reassignment_bumps_epochs_and_fences_stale_writes() {
+        let dir = TempDir::new("cluster").unwrap();
+        let c = Cluster::new(dir.path(), test_opts(2)).unwrap();
+        c.create_table("t", 4).unwrap();
+        // Find a row hosted by server 1.
+        let row = (0..=255u8)
+            .map(|b| [b, b'x'])
+            .find(|r| c.server_for_row("t", r).unwrap() == 1)
+            .expect("some row lands on server 1");
+        let old_epoch = c.epoch_for_row("t", &row).unwrap();
+        c.check_write_epoch("t", &row, old_epoch).unwrap();
+        c.crash_server(1);
+        c.recover().unwrap();
+        let new_epoch = c.epoch_for_row("t", &row).unwrap();
+        assert_eq!(new_epoch, old_epoch + 1, "failover bumps the region epoch");
+        // A write stamped under the old assignment is fenced.
+        match c.check_write_epoch("t", &row, old_epoch) {
+            Err(ClusterError::StaleEpoch { owner, epoch }) => {
+                assert_eq!(owner, 0);
+                assert_eq!(epoch, new_epoch);
+            }
+            other => panic!("expected StaleEpoch, got {other:?}"),
+        }
+        c.check_write_epoch("t", &row, new_epoch).unwrap();
+        let stats = c.recovery_stats();
+        assert_eq!(stats.recoveries, 1);
+        assert!(stats.regions_recovered >= 1);
+        assert!(stats.fenced_writes >= 1);
+    }
+
+    #[test]
+    fn zombie_write_is_fenced_after_failover() {
+        let dir = TempDir::new("cluster").unwrap();
+        let c = Cluster::new(dir.path(), test_opts(2)).unwrap();
+        c.create_table("t", 4).unwrap();
+        let row = (0..=255u8)
+            .map(|b| [b, b'z'])
+            .find(|r| c.server_for_row("t", r).unwrap() == 1)
+            .expect("some row lands on server 1");
+        c.put("t", &row, &cols(&[("c", "before")])).unwrap();
+        c.crash_server(1);
+        // Before the master reassigns, the zombie's view matches the map:
+        // the failure is plain unavailability, not a fencing violation.
+        assert!(matches!(
+            c.zombie_put(1, "t", &row, &cols(&[("c", "split")])),
+            Err(ClusterError::ServerDown(1))
+        ));
+        c.recover().unwrap();
+        // Resurrect the zombie (it rejoins empty-handed) and replay the
+        // write it would have served from its stale view: fenced.
+        c.restart_server(1);
+        match c.zombie_put(1, "t", &row, &cols(&[("c", "split")])) {
+            Err(ClusterError::StaleEpoch { owner, .. }) => assert_eq!(owner, 0),
+            other => panic!("expected StaleEpoch, got {other:?}"),
+        }
+        // A row the zombie never owned answers NotServing from its own view.
+        let other_row = (0..=255u8)
+            .map(|b| [b, b'z'])
+            .find(|r| {
+                c.server_for_row("t", r).unwrap() == 0
+                    && c.epoch_for_row("t", r).unwrap() == 1
+            })
+            .expect("some region never moved");
+        assert!(matches!(
+            c.zombie_put(1, "t", &other_row, &cols(&[("c", "x")])),
+            Err(ClusterError::NotServing { owner: 0 })
+        ));
+        // The authoritative value is untouched.
+        let got = c.get("t", &row, b"c", u64::MAX).unwrap().unwrap();
+        assert_eq!(got.value, Bytes::from("before"));
     }
 
     #[test]

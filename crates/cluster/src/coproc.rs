@@ -63,6 +63,22 @@ pub trait TableObserver: Send + Sync {
         let _ = (cluster, table, op);
         Ok(())
     }
+
+    /// Called when the master opens a §5.3 recovery window (regions of dead
+    /// servers are about to be reassigned and replayed). Diff-Index holds
+    /// its AUQ workers here: queued tasks addressed to a dead region would
+    /// otherwise burn their retry budget against `ServerDown` before the new
+    /// owner is ready, and §5.3 requires the AUQ blocked inside the window.
+    fn pre_recovery(&self, cluster: &Cluster, table: &str) {
+        let _ = (cluster, table);
+    }
+
+    /// Called after reassignment + WAL replay (and `post_replay` delivery)
+    /// complete: the queued tasks now drain against the region's new owner —
+    /// the AUQ handover that keeps acked async writes from being lost.
+    fn post_recovery(&self, cluster: &Cluster, table: &str) {
+        let _ = (cluster, table);
+    }
 }
 
 /// One base-table operation reconstructed from the WAL during recovery.

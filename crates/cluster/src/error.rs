@@ -23,6 +23,18 @@ pub enum ClusterError {
         /// Server currently hosting the target region.
         owner: u32,
     },
+    /// The write was stamped with a region epoch older than the region's
+    /// current assignment: the sender's view of the cluster predates a
+    /// failover. This is the fencing rejection that keeps a "zombie" server
+    /// (declared dead, regions reassigned, but still reachable) from ever
+    /// getting a write accepted (§5.3 split-brain guard). Carries the
+    /// current owner and epoch so clients can refresh their map and re-route.
+    StaleEpoch {
+        /// Server currently hosting the target region.
+        owner: u32,
+        /// The region's current fencing epoch.
+        epoch: u64,
+    },
     /// A network request did not complete within its deadline. The outcome
     /// of the operation is unknown (it may or may not have been applied).
     Timeout(String),
@@ -48,6 +60,7 @@ impl ClusterError {
             self,
             ClusterError::ServerDown(_)
                 | ClusterError::NotServing { .. }
+                | ClusterError::StaleEpoch { .. }
                 | ClusterError::Timeout(_)
                 | ClusterError::Io(_)
         )
@@ -63,6 +76,9 @@ impl fmt::Display for ClusterError {
             ClusterError::Unavailable(m) => write!(f, "unavailable: {m}"),
             ClusterError::NotServing { owner } => {
                 write!(f, "region not served here (moved to server {owner})")
+            }
+            ClusterError::StaleEpoch { owner, epoch } => {
+                write!(f, "write fenced: stale region epoch (current epoch {epoch} on server {owner})")
             }
             ClusterError::Timeout(m) => write!(f, "request timed out: {m}"),
             ClusterError::Io(m) => write!(f, "transport error: {m}"),
@@ -99,6 +115,8 @@ mod tests {
         assert!(ClusterError::ServerDown(3).to_string().contains('3'));
         assert!(ClusterError::Unavailable("x".into()).to_string().contains('x'));
         assert!(ClusterError::NotServing { owner: 7 }.to_string().contains('7'));
+        let fenced = ClusterError::StaleEpoch { owner: 2, epoch: 9 }.to_string();
+        assert!(fenced.contains("fenced") && fenced.contains('9'));
         assert!(ClusterError::Timeout("t".into()).to_string().contains("timed out"));
         assert!(ClusterError::Io("reset".into()).to_string().contains("reset"));
         assert!(ClusterError::Protocol("bad".into()).to_string().contains("bad"));
@@ -112,6 +130,7 @@ mod tests {
         for e in [
             ClusterError::ServerDown(1),
             ClusterError::NotServing { owner: 0 },
+            ClusterError::StaleEpoch { owner: 0, epoch: 2 },
             ClusterError::Timeout("slow".into()),
             ClusterError::Io("reset".into()),
         ] {

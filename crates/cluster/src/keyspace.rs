@@ -45,6 +45,12 @@ pub struct PartitionMap {
     regions: Vec<RegionSpec>,
     /// `assignment[i]` = server currently hosting `regions[i]`.
     assignment: Vec<ServerId>,
+    /// `epochs[i]` = fencing epoch of `regions[i]`'s current assignment.
+    /// Starts at 1 and is bumped every time the region moves, so a write
+    /// stamped with an older epoch provably predates the current assignment
+    /// and must be rejected (split-brain guard, §5.3 + HBase's region-server
+    /// fencing via ZooKeeper epochs).
+    epochs: Vec<u64>,
 }
 
 impl PartitionMap {
@@ -62,9 +68,10 @@ impl PartitionMap {
             start = s.clone();
         }
         regions.push(RegionSpec { id: sorted.len() as RegionId, start, end: None });
-        let assignment =
+        let assignment: Vec<ServerId> =
             (0..regions.len()).map(|i| servers[i % servers.len()]).collect();
-        Self { regions, assignment }
+        let epochs = vec![1; regions.len()];
+        Self { regions, assignment, epochs }
     }
 
     /// Evenly split the *byte* key space into `n` regions using single-byte
@@ -102,9 +109,29 @@ impl PartitionMap {
         self.regions.iter().position(|r| r.id == id).map(|i| self.assignment[i])
     }
 
+    /// Fencing epoch of the region that contains `key`.
+    pub fn epoch_for(&self, key: &[u8]) -> u64 {
+        self.epochs[self.locate_idx(key)]
+    }
+
+    /// Fencing epoch of region `id`.
+    pub fn epoch_of_region(&self, id: RegionId) -> Option<u64> {
+        self.regions.iter().position(|r| r.id == id).map(|i| self.epochs[i])
+    }
+
     /// All regions (in key order) with their assignments.
     pub fn regions(&self) -> impl Iterator<Item = (&RegionSpec, ServerId)> {
         self.regions.iter().zip(self.assignment.iter().copied())
+    }
+
+    /// All regions (in key order) with assignment and fencing epoch — what
+    /// the wire-level partition map carries.
+    pub fn entries(&self) -> impl Iterator<Item = (&RegionSpec, ServerId, u64)> {
+        self.regions
+            .iter()
+            .zip(self.assignment.iter().copied())
+            .zip(self.epochs.iter().copied())
+            .map(|((r, s), e)| (r, s, e))
     }
 
     /// Regions overlapping the key range `[start, end)`.
@@ -128,6 +155,8 @@ impl PartitionMap {
 
     /// Reassign every region on `from` to servers drawn round-robin from
     /// `to` (master failover, §5.3). Returns the region ids that moved.
+    /// Every moved region's fencing epoch is bumped, so writes stamped under
+    /// the previous assignment become rejectable.
     pub fn reassign(&mut self, from: ServerId, to: &[ServerId]) -> Vec<RegionId> {
         assert!(!to.is_empty(), "no surviving servers");
         let mut moved = Vec::new();
@@ -136,6 +165,7 @@ impl PartitionMap {
             if *owner == from {
                 *owner = to[rr % to.len()];
                 rr += 1;
+                self.epochs[i] += 1;
                 moved.push(self.regions[i].id);
             }
         }
@@ -229,6 +259,28 @@ mod tests {
         assert_eq!(moved, vec![0, 2]);
         let servers: Vec<ServerId> = m.regions().map(|(_, s)| s).collect();
         assert_eq!(servers, vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn epochs_start_at_one_and_bump_only_for_moved_regions() {
+        let mut m = PartitionMap::from_splits(
+            &[Bytes::from_static(b"g"), Bytes::from_static(b"p")],
+            &[1, 2, 1],
+        );
+        assert!(m.entries().all(|(_, _, e)| e == 1));
+        let moved = m.reassign(1, &[2, 3]);
+        assert_eq!(moved, vec![0, 2]);
+        assert_eq!(m.epoch_of_region(0), Some(2));
+        assert_eq!(m.epoch_of_region(1), Some(1), "unmoved region keeps its epoch");
+        assert_eq!(m.epoch_of_region(2), Some(2));
+        // A second failover bumps again: epochs are monotonic per region.
+        // Servers are now [2, 2, 3]; killing 2 moves regions 0 and 1.
+        m.reassign(2, &[3]);
+        assert_eq!(m.epoch_of_region(0), Some(3));
+        assert_eq!(m.epoch_of_region(1), Some(2));
+        assert_eq!(m.epoch_of_region(2), Some(2), "region on the survivor is untouched");
+        assert_eq!(m.epoch_for(b"a"), 3);
+        assert_eq!(m.epoch_for(b"h"), 2);
     }
 
     #[test]

@@ -28,11 +28,16 @@ pub mod encoding;
 pub mod error;
 pub mod fanout;
 pub mod faults;
+pub mod health;
 pub mod keyspace;
 
-pub use cluster::{Cluster, ClusterOptions, DispatchSnapshot, PutOutcome, RowGroup, WeakCluster};
+pub use cluster::{
+    fencing_disabled, set_disable_fencing, Cluster, ClusterOptions, DispatchSnapshot, PutOutcome,
+    RecoveryStats, RowGroup, WeakCluster,
+};
 pub use faults::FaultPlan;
 pub use coproc::{ColumnValue, ReplayedOp, TableObserver};
 pub use fanout::FanoutPool;
 pub use error::{ClusterError, Result};
+pub use health::{HealthMetrics, HealthMonitor, HealthOptions, HealthState};
 pub use keyspace::{PartitionMap, RegionId, RegionSpec, ServerId};

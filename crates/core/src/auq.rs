@@ -30,6 +30,48 @@ use std::time::Duration;
 /// unavailability window (e.g. a crashed server awaiting recovery).
 const MAX_RETRIES: u32 = 64;
 
+/// What to do when a bounded queue is at capacity (backpressure policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Block the producer until workers free space — backpressure
+    /// propagates to the writer, no task is ever turned away. The default.
+    Block,
+    /// Turn the overflowing batch away immediately
+    /// ([`Admission::Rejected`]); the producer decides what to do with it.
+    Reject,
+}
+
+/// Outcome of an enqueue attempt against a bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Every task of the batch was accepted.
+    Admitted,
+    /// The queue was full under [`AdmissionPolicy::Reject`]: the whole
+    /// batch (this many tasks) was turned away. All-or-nothing, so a flush
+    /// drain never observes half of one base operation's tasks.
+    Rejected(usize),
+}
+
+/// Construction options for [`Auq::start_with_options`].
+#[derive(Debug, Clone)]
+pub struct AuqOptions {
+    /// APS worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Queue capacity; `usize::MAX` = unbounded (the default). The bound is
+    /// soft by one batch: a batch admitted into remaining space may
+    /// overshoot, and §5.3 recovery handover is exempt (see
+    /// [`Auq::hold_for_recovery`]).
+    pub capacity: usize,
+    /// What to do with a batch that finds the queue full.
+    pub policy: AdmissionPolicy,
+}
+
+impl Default for AuqOptions {
+    fn default() -> Self {
+        Self { workers: 1, capacity: usize::MAX, policy: AdmissionPolicy::Block }
+    }
+}
+
 /// One unit of deferred index work.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum IndexTask {
@@ -68,6 +110,11 @@ struct State {
     paused: bool,
     in_flight: usize,
     shutdown: bool,
+    /// §5.3 recovery window: workers stop popping (queued tasks addressed
+    /// to dead regions stop burning their retry budget) while intake stays
+    /// open for WAL-replay re-enqueues; the whole backlog drains against
+    /// the regions' new owners on release.
+    held: bool,
 }
 
 /// Cumulative AUQ counters plus staleness (index-after-data time-lag)
@@ -91,6 +138,12 @@ pub struct AuqMetrics {
     pub fanout_dispatches: AtomicU64,
     /// Total parallel sub-operations those dispatches fanned out.
     pub fanout_tasks: AtomicU64,
+    /// Tasks turned away by a full queue under [`AdmissionPolicy::Reject`].
+    pub auq_rejections: AtomicU64,
+    /// Deepest queue depth ever observed (after an admission).
+    pub high_watermark: AtomicU64,
+    /// §5.3 recovery windows this queue was held through (AUQ handover).
+    pub recovery_holds: AtomicU64,
 }
 
 impl AuqMetrics {
@@ -117,6 +170,8 @@ pub struct Auq {
     spec: Arc<IndexSpec>,
     metrics: Arc<AuqMetrics>,
     workers: usize,
+    capacity: usize,
+    policy: AdmissionPolicy,
     /// Chaos-testing switch: while set, APS workers stop pulling tasks
     /// (the queue keeps accepting), simulating a wedged processing service.
     /// A flush's `pause_and_drain` overrides the stall — the drain contract
@@ -154,19 +209,34 @@ impl Auq {
         spec: Arc<IndexSpec>,
         workers: usize,
     ) -> Arc<Self> {
-        let workers = workers.max(1);
+        Self::start_with_options(cluster, spec, AuqOptions { workers, ..AuqOptions::default() })
+    }
+
+    /// Create the queue with explicit worker count, capacity, and admission
+    /// policy. An unbounded `capacity` (the default) reproduces the paper's
+    /// AUQ exactly; a bound adds backpressure so a wedged APS cannot grow
+    /// the queue without limit.
+    pub fn start_with_options(
+        cluster: WeakCluster,
+        spec: Arc<IndexSpec>,
+        opts: AuqOptions,
+    ) -> Arc<Self> {
+        let workers = opts.workers.max(1);
         let auq = Arc::new(Self {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 paused: false,
                 in_flight: 0,
                 shutdown: false,
+                held: false,
             }),
             cv: Condvar::new(),
             cluster,
             spec,
             metrics: Arc::new(AuqMetrics::default()),
             workers,
+            capacity: opts.capacity.max(1),
+            policy: opts.policy,
             stalled: AtomicBool::new(false),
         });
         for i in 0..workers {
@@ -184,40 +254,72 @@ impl Auq {
         self.workers
     }
 
+    /// Queue capacity (`usize::MAX` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admission policy applied when the queue is full.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
     /// Counters and staleness statistics.
     pub fn metrics(&self) -> &Arc<AuqMetrics> {
         &self.metrics
     }
 
     /// Add a task. Blocks while the queue is paused for a flush drain —
-    /// the paper's "block the AUQ from receiving new entries" (§5.3).
-    pub fn enqueue(&self, task: IndexTask) {
-        self.enqueue_many(std::iter::once(task));
+    /// the paper's "block the AUQ from receiving new entries" (§5.3) — and,
+    /// for a bounded queue under [`AdmissionPolicy::Block`], while the
+    /// queue is at capacity. Under [`AdmissionPolicy::Reject`] a full queue
+    /// answers [`Admission::Rejected`] instead.
+    pub fn enqueue(&self, task: IndexTask) -> Admission {
+        self.enqueue_many(std::iter::once(task))
     }
 
     /// Add a batch of tasks under one queue lock with a single worker
     /// wake-up. The blocking-while-paused contract matches [`Auq::enqueue`];
-    /// the whole batch is admitted atomically, so a flush drain never splits
-    /// the tasks of one base operation across a pause boundary.
-    pub fn enqueue_many<I: IntoIterator<Item = IndexTask>>(&self, tasks: I) {
-        let mut tasks = tasks.into_iter().peekable();
-        if tasks.peek().is_none() {
-            return;
+    /// the whole batch is admitted (or rejected) atomically, so a flush
+    /// drain never splits the tasks of one base operation across a pause
+    /// boundary. While a §5.3 recovery window is open
+    /// ([`Auq::hold_for_recovery`]) the capacity bound is waived: handover
+    /// re-enqueues must never deadlock against held workers.
+    pub fn enqueue_many<I: IntoIterator<Item = IndexTask>>(&self, tasks: I) -> Admission {
+        let batch: Vec<IndexTask> = tasks.into_iter().collect();
+        if batch.is_empty() {
+            return Admission::Admitted;
         }
         let mut s = self.state.lock();
-        while s.paused && !s.shutdown {
-            self.cv.wait(&mut s);
-        }
-        if s.shutdown {
-            return;
+        loop {
+            if s.shutdown {
+                return Admission::Admitted;
+            }
+            if s.paused {
+                self.cv.wait(&mut s);
+                continue;
+            }
+            if s.queue.len() < self.capacity || s.held {
+                break;
+            }
+            match self.policy {
+                AdmissionPolicy::Reject => {
+                    let n = batch.len();
+                    self.metrics.auq_rejections.fetch_add(n as u64, Ordering::Relaxed);
+                    return Admission::Rejected(n);
+                }
+                AdmissionPolicy::Block => self.cv.wait(&mut s),
+            }
         }
         let mut n = 0u64;
-        for task in tasks {
+        for task in batch {
             s.queue.push_back((task, 0));
             n += 1;
         }
         self.metrics.enqueued.fetch_add(n, Ordering::Relaxed);
+        self.metrics.high_watermark.fetch_max(s.queue.len() as u64, Ordering::Relaxed);
         self.cv.notify_all();
+        Admission::Admitted
     }
 
     /// Pause intake and wait until every queued and in-flight task has been
@@ -255,6 +357,32 @@ impl Auq {
         self.stalled.load(Ordering::SeqCst)
     }
 
+    /// Open a §5.3 recovery window: wedge the workers (queued tasks would
+    /// only burn retries against `ServerDown` until the new region owner is
+    /// ready) while intake stays open — WAL-replay re-enqueues keep landing
+    /// in the queue, and the capacity bound is waived so handover can never
+    /// deadlock against the held workers. A flush's [`Auq::pause_and_drain`]
+    /// overrides the hold, same as a stall.
+    pub fn hold_for_recovery(&self) {
+        let mut s = self.state.lock();
+        s.held = true;
+        self.metrics.recovery_holds.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+    }
+
+    /// Close the recovery window: workers resume draining the queue — now
+    /// routed to the regions' new owners.
+    pub fn release_recovery_hold(&self) {
+        let mut s = self.state.lock();
+        s.held = false;
+        self.cv.notify_all();
+    }
+
+    /// True while a recovery window holds the workers.
+    pub fn is_held(&self) -> bool {
+        self.state.lock().held
+    }
+
     /// Convenience for tests: wait until the queue is empty without pausing
     /// intake permanently.
     pub fn wait_idle(&self) {
@@ -285,9 +413,11 @@ impl Auq {
                     if s.shutdown {
                         return;
                     }
-                    // An injected stall wedges the workers — unless a flush
-                    // drain is waiting (paused), which takes precedence.
-                    let wedged = self.stalled.load(Ordering::SeqCst) && !s.paused;
+                    // An injected stall or a recovery hold wedges the
+                    // workers — unless a flush drain is waiting (paused),
+                    // which takes precedence.
+                    let wedged =
+                        (self.stalled.load(Ordering::SeqCst) || s.held) && !s.paused;
                     if !wedged {
                         if let Some(t) = s.queue.pop_front() {
                             s.in_flight += 1;
@@ -721,5 +851,118 @@ mod tests {
         // Enqueue after shutdown is a no-op, not a hang.
         auq.enqueue(IndexTask::PutIndex { index_row: b("x"), ts: 1 });
         assert_eq!(auq.metrics().enqueued.load(Ordering::Relaxed), 0);
+    }
+
+    fn maintain_task(i: usize) -> IndexTask {
+        IndexTask::Maintain {
+            row: b(&format!("row{i}")),
+            ts: 100 + i as u64,
+            is_delete: false,
+            put_columns: vec![(b("name"), b(&format!("val{i}")))],
+        }
+    }
+
+    #[test]
+    fn bounded_queue_rejects_when_full() {
+        let (_d, cluster, spec, _single) = setup();
+        let auq = Auq::start_with_options(
+            cluster.downgrade(),
+            Arc::clone(&spec),
+            AuqOptions { workers: 1, capacity: 4, policy: AdmissionPolicy::Reject },
+        );
+        assert_eq!(auq.capacity(), 4);
+        auq.set_stalled(true);
+        for i in 0..4 {
+            assert_eq!(auq.enqueue(maintain_task(i)), Admission::Admitted);
+        }
+        // Single overflow task: turned away, queue untouched.
+        assert_eq!(auq.enqueue(maintain_task(4)), Admission::Rejected(1));
+        assert_eq!(auq.depth(), 4);
+        // Batch rejection is all-or-nothing: no partial admission.
+        let batch: Vec<_> = (5..8).map(maintain_task).collect();
+        assert_eq!(auq.enqueue_many(batch), Admission::Rejected(3));
+        assert_eq!(auq.depth(), 4);
+        assert_eq!(auq.metrics().auq_rejections.load(Ordering::Relaxed), 4);
+        assert_eq!(auq.metrics().high_watermark.load(Ordering::Relaxed), 4);
+        // Once the APS drains, admission reopens.
+        auq.set_stalled(false);
+        auq.wait_idle();
+        assert_eq!(auq.enqueue(maintain_task(8)), Admission::Admitted);
+        auq.wait_idle();
+    }
+
+    #[test]
+    fn bounded_queue_blocks_until_workers_drain() {
+        let (_d, cluster, spec, _single) = setup();
+        let auq = Auq::start_with_options(
+            cluster.downgrade(),
+            Arc::clone(&spec),
+            AuqOptions { workers: 1, capacity: 2, policy: AdmissionPolicy::Block },
+        );
+        auq.set_stalled(true);
+        assert_eq!(auq.enqueue(maintain_task(0)), Admission::Admitted);
+        assert_eq!(auq.enqueue(maintain_task(1)), Admission::Admitted);
+        let auq2 = Arc::clone(&auq);
+        let handle = std::thread::spawn(move || auq2.enqueue(maintain_task(2)));
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!handle.is_finished(), "enqueue must block while the queue is at capacity");
+        assert_eq!(auq.metrics().auq_rejections.load(Ordering::Relaxed), 0);
+        auq.set_stalled(false);
+        assert_eq!(handle.join().unwrap(), Admission::Admitted);
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn recovery_hold_wedges_workers_but_intake_stays_open() {
+        let (_d, _cluster, _spec, auq) = setup();
+        auq.hold_for_recovery();
+        assert!(auq.is_held());
+        // Intake stays open inside the recovery window (§5.3 blocks the
+        // *processing*, not the WAL-replay re-enqueues).
+        assert_eq!(auq.enqueue(maintain_task(0)), Admission::Admitted);
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 0, "workers held");
+        assert_eq!(auq.depth(), 1);
+        auq.release_recovery_hold();
+        assert!(!auq.is_held());
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+        assert_eq!(auq.metrics().recovery_holds.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn recovery_hold_waives_capacity_bound() {
+        let (_d, cluster, spec, _single) = setup();
+        let auq = Auq::start_with_options(
+            cluster.downgrade(),
+            Arc::clone(&spec),
+            AuqOptions { workers: 1, capacity: 1, policy: AdmissionPolicy::Reject },
+        );
+        auq.hold_for_recovery();
+        // Replay re-enqueues during the recovery window must never be
+        // rejected (or block): the handover would lose acked writes (or
+        // deadlock against the held workers).
+        for i in 0..3 {
+            assert_eq!(auq.enqueue(maintain_task(i)), Admission::Admitted);
+        }
+        assert_eq!(auq.depth(), 3);
+        auq.release_recovery_hold();
+        auq.wait_idle();
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn pause_and_drain_overrides_recovery_hold() {
+        let (_d, _cluster, _spec, auq) = setup();
+        auq.hold_for_recovery();
+        auq.enqueue(maintain_task(0));
+        // A flush drain must complete even while a recovery hold is set, for
+        // the same reason it overrides a stall.
+        auq.pause_and_drain();
+        assert_eq!(auq.depth(), 0);
+        assert_eq!(auq.metrics().completed.load(Ordering::Relaxed), 1);
+        auq.resume();
+        auq.release_recovery_hold();
     }
 }

@@ -52,7 +52,7 @@ pub mod store;
 pub mod verify;
 
 pub use admin::{DiffIndex, IndexHandle};
-pub use auq::{Auq, AuqMetrics, IndexTask};
+pub use auq::{Admission, AdmissionPolicy, Auq, AuqMetrics, AuqOptions, IndexTask};
 pub use cost::{index_update_latency, read_cost, update_cost, IoCost};
 pub use error::{IndexError, Result};
 pub use history::{History, RecordingStore, WriteKind, WriteOutcome, WriteRecord};

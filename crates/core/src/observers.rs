@@ -7,7 +7,7 @@
 //! entry always carries the same timestamp as the base entry it is
 //! associated with**, and old-entry operations happen at `t − δ`.
 
-use crate::auq::{new_index_values, read_index_values, Auq, IndexTask};
+use crate::auq::{new_index_values, read_index_values, Admission, Auq, AuqOptions, IndexTask};
 use crate::encoding::index_row;
 use crate::error::Result;
 use crate::spec::IndexSpec;
@@ -79,7 +79,11 @@ fn sync_update(
         if let Some(vals) = &new_vals {
             let new_key = index_row(vals, row);
             if cluster.raw_put(&spec.index_table(), &new_key, &null_cell(), ts).is_err() {
-                auq.enqueue(IndexTask::PutIndex { index_row: new_key, ts });
+                if let Admission::Rejected(n) =
+                    auq.enqueue(IndexTask::PutIndex { index_row: new_key, ts })
+                {
+                    return Err(crate::error::IndexError::AuqFull { rejected: n });
+                }
             }
         }
         return Ok(());
@@ -154,7 +158,11 @@ fn sync_update(
             }
         }
     }
-    auq.enqueue_many(retries);
+    if let Admission::Rejected(n) = auq.enqueue_many(retries) {
+        if first_err.is_none() {
+            first_err = Some(crate::error::IndexError::AuqFull { rejected: n });
+        }
+    }
     match first_err {
         Some(e) => Err(e),
         None => Ok(()),
@@ -176,7 +184,11 @@ fn sync_delete(
             .raw_delete(&spec.index_table(), &old_key, &[Bytes::new()], ts - DELTA)
             .is_err()
         {
-            auq.enqueue(IndexTask::DeleteIndex { index_row: old_key, ts: ts - DELTA });
+            if let Admission::Rejected(n) =
+                auq.enqueue(IndexTask::DeleteIndex { index_row: old_key, ts: ts - DELTA })
+            {
+                return Err(crate::error::IndexError::AuqFull { rejected: n });
+            }
         }
     }
     Ok(())
@@ -193,6 +205,21 @@ macro_rules! replay_and_flush_impl {
 
         fn post_flush(&self, _cluster: &Cluster, _table: &str) {
             self.auq.resume();
+        }
+
+        fn pre_recovery(&self, _cluster: &Cluster, _table: &str) {
+            // §5.3: the AUQ is blocked inside the recovery window. Workers
+            // hold (tasks routed to dead regions would only burn retries
+            // against ServerDown) while intake stays open so WAL-replay
+            // re-enqueues land in the queue; any capacity bound is waived
+            // under the hold so the handover cannot deadlock.
+            self.auq.hold_for_recovery();
+        }
+
+        fn post_recovery(&self, _cluster: &Cluster, _table: &str) {
+            // Regions are reassigned and replayed; queued tasks now drain
+            // against their new owners — the AUQ handover.
+            self.auq.release_recovery_hold();
         }
 
         fn post_replay(&self, _cluster: &Cluster, _table: &str, op: &ReplayedOp) -> Result2<()> {
@@ -259,7 +286,13 @@ impl SyncFullObserver {
 
     /// Like [`SyncFullObserver::new`] with `workers` retry-queue threads.
     pub fn with_workers(cluster: &Cluster, spec: Arc<IndexSpec>, workers: usize) -> Self {
-        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), workers);
+        Self::with_options(cluster, spec, AuqOptions { workers, ..AuqOptions::default() })
+    }
+
+    /// Full control over the retry queue: worker count, capacity bound and
+    /// admission policy.
+    pub fn with_options(cluster: &Cluster, spec: Arc<IndexSpec>, opts: AuqOptions) -> Self {
+        let auq = Auq::start_with_options(cluster.downgrade(), Arc::clone(&spec), opts);
         Self { spec, auq }
     }
 
@@ -277,7 +310,13 @@ impl SyncInsertObserver {
 
     /// Like [`SyncInsertObserver::new`] with `workers` retry-queue threads.
     pub fn with_workers(cluster: &Cluster, spec: Arc<IndexSpec>, workers: usize) -> Self {
-        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), workers);
+        Self::with_options(cluster, spec, AuqOptions { workers, ..AuqOptions::default() })
+    }
+
+    /// Full control over the retry queue: worker count, capacity bound and
+    /// admission policy.
+    pub fn with_options(cluster: &Cluster, spec: Arc<IndexSpec>, opts: AuqOptions) -> Self {
+        let auq = Auq::start_with_options(cluster.downgrade(), Arc::clone(&spec), opts);
         Self { spec, auq }
     }
 
@@ -297,7 +336,15 @@ impl AsyncObserver {
     /// queue in parallel — the knob behind the paper's observation that APS
     /// throughput bounds index staleness (§8.4, Figure 11).
     pub fn with_workers(cluster: &Cluster, spec: Arc<IndexSpec>, workers: usize) -> Self {
-        let auq = Auq::start_with_workers(cluster.downgrade(), Arc::clone(&spec), workers);
+        Self::with_options(cluster, spec, AuqOptions { workers, ..AuqOptions::default() })
+    }
+
+    /// Full control over the queue: worker count, capacity bound and
+    /// admission policy — a bounded queue turns a wedged or lagging APS
+    /// into backpressure (`Block`) or fast-fail (`Reject`) instead of
+    /// unbounded memory growth.
+    pub fn with_options(cluster: &Cluster, spec: Arc<IndexSpec>, opts: AuqOptions) -> Self {
+        let auq = Auq::start_with_options(cluster.downgrade(), Arc::clone(&spec), opts);
         Self { spec, auq }
     }
 
@@ -387,13 +434,17 @@ impl TableObserver for AsyncObserver {
         if !self.spec.touches(&columns.iter().map(|(c, _)| c.clone()).collect::<Vec<_>>()) {
             return Ok(());
         }
-        self.auq.enqueue(IndexTask::Maintain {
+        match self.auq.enqueue(IndexTask::Maintain {
             row: Bytes::copy_from_slice(row),
             ts,
             is_delete: false,
             put_columns: columns.to_vec(),
-        });
-        Ok(())
+        }) {
+            Admission::Admitted => Ok(()),
+            Admission::Rejected(n) => {
+                Err(into_cluster_err(crate::error::IndexError::AuqFull { rejected: n }))
+            }
+        }
     }
 
     fn post_delete(
@@ -407,13 +458,17 @@ impl TableObserver for AsyncObserver {
         if !self.spec.touches(columns) {
             return Ok(());
         }
-        self.auq.enqueue(IndexTask::Maintain {
+        match self.auq.enqueue(IndexTask::Maintain {
             row: Bytes::copy_from_slice(row),
             ts,
             is_delete: true,
             put_columns: Vec::new(),
-        });
-        Ok(())
+        }) {
+            Admission::Admitted => Ok(()),
+            Admission::Rejected(n) => {
+                Err(into_cluster_err(crate::error::IndexError::AuqFull { rejected: n }))
+            }
+        }
     }
 
     replay_and_flush_impl!();

@@ -20,6 +20,10 @@
 //!   moved); invalidate it, refetch, re-route.
 //! * [`ClusterError::ServerDown`] — the region's host crashed; invalidate
 //!   and re-route (the master may have reassigned).
+//! * [`ClusterError::StaleEpoch`] — the write carried an epoch from before
+//!   a failover; the cached map (and its epochs) is stale. Invalidate,
+//!   refetch, re-stamp, re-send — this is what makes failover transparent
+//!   to callers while zombies stay fenced out.
 //! * [`ClusterError::Timeout`] / [`ClusterError::Io`] — the outcome of the
 //!   attempt is *unknown*: the connection is discarded (never reused, so a
 //!   straggler response can't be mismatched) and the request re-sent. This
@@ -40,6 +44,7 @@ use diff_index_core::{IndexSpec, Store};
 use diff_index_lsm::VersionedValue;
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap};
+use std::hash::BuildHasher;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -57,6 +62,9 @@ pub struct RemoteClientOptions {
     /// Total attempts per request (first try included).
     pub max_attempts: u32,
     /// Base backoff between attempts; doubles per retry, capped at 100 ms.
+    /// The actual sleep is jittered (half fixed, half uniform-random) so a
+    /// cohort of clients retrying after one failover event spreads out
+    /// instead of stampeding the new owner in lockstep.
     pub backoff: Duration,
     /// Idle pooled connections kept per server address.
     pub pool_per_addr: usize,
@@ -74,9 +82,11 @@ impl Default for RemoteClientOptions {
     }
 }
 
-/// A cached table partition map: `(region start key, owner)` sorted by
-/// start key.
-type TableMap = Arc<Vec<(Bytes, ServerId)>>;
+/// A cached table partition map: `(region start key, owner, epoch)` sorted
+/// by start key. The epoch stamps every write routed through the entry;
+/// servers fence stamps from before a failover with
+/// [`ClusterError::StaleEpoch`].
+type TableMap = Arc<Vec<(Bytes, ServerId, u64)>>;
 
 struct ClientInner {
     bootstrap: Vec<String>,
@@ -235,7 +245,8 @@ impl RemoteClient {
             let start = r.bytes()?;
             let _region = r.u32()?;
             let server = r.u32()?;
-            map.push((start, server));
+            let epoch = r.u64()?;
+            map.push((start, server, epoch));
         }
         r.expect_end()?;
         if map.is_empty() {
@@ -260,14 +271,21 @@ impl RemoteClient {
         let _ = self.refresh_roster();
     }
 
-    /// Owner of `row` under the cached map — the client-side mirror of
-    /// `PartitionMap::server_for`: regions are sorted by start key and a
-    /// key belongs to the last region starting at or before it.
-    fn owner_of(&self, table: &str, row: &[u8]) -> Result<ServerId> {
+    /// Owner and epoch of `row`'s region under the cached map — the
+    /// client-side mirror of `PartitionMap::server_for`: regions are sorted
+    /// by start key and a key belongs to the last region starting at or
+    /// before it.
+    fn route_of(&self, table: &str, row: &[u8]) -> Result<(ServerId, u64)> {
         let map = self.map_of(table)?;
         let key = row_start(row);
-        let idx = map.partition_point(|(start, _)| start.as_ref() <= key.as_ref());
-        Ok(map[idx.saturating_sub(1)].1)
+        let idx = map.partition_point(|(start, _, _)| start.as_ref() <= key.as_ref());
+        let (_, server, epoch) = &map[idx.saturating_sub(1)];
+        Ok((*server, *epoch))
+    }
+
+    /// Owner of `row` under the cached map (reads don't stamp epochs).
+    fn owner_of(&self, table: &str, row: &[u8]) -> Result<ServerId> {
+        Ok(self.route_of(table, row)?.0)
     }
 
     fn addr_of(&self, server: ServerId) -> Result<String> {
@@ -285,8 +303,16 @@ impl RemoteClient {
 
     fn backoff(&self, attempt: u32) {
         let base = self.inner.opts.backoff.max(Duration::from_micros(100));
-        let wait = base.saturating_mul(1 << attempt.min(6)).min(Duration::from_millis(100));
-        std::thread::sleep(wait);
+        let ceiling = base.saturating_mul(1 << attempt.min(6)).min(Duration::from_millis(100));
+        // Equal jitter: sleep half the exponential ceiling plus a uniform
+        // random slice of the other half. One failover event wakes every
+        // blocked client at once; without jitter they would all retry the
+        // new owner at the same instants. `RandomState`'s per-instance seed
+        // is the stdlib's entropy source — no external rand dependency.
+        let nanos = (ceiling.as_nanos() as u64).max(2);
+        let jitter = std::collections::hash_map::RandomState::new().hash_one(attempt)
+            % (nanos / 2).max(1);
+        std::thread::sleep(Duration::from_nanos(nanos / 2 + jitter));
     }
 
     // -- retry wrappers ------------------------------------------------------
@@ -315,7 +341,57 @@ impl RemoteClient {
                 Err(e) if e.is_retryable() => {
                     if matches!(
                         e,
-                        ClusterError::NotServing { .. } | ClusterError::ServerDown(_)
+                        ClusterError::NotServing { .. }
+                            | ClusterError::ServerDown(_)
+                            | ClusterError::StaleEpoch { .. }
+                    ) {
+                        self.invalidate(table);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClusterError::Io("request retries exhausted".into())))
+    }
+
+    /// Row-addressed *write*: like [`RemoteClient::request_routed`], but the
+    /// body is rebuilt per attempt with the current epoch of the row's
+    /// region, so a retry after `StaleEpoch`/`ServerDown` invalidation is
+    /// automatically re-stamped from the refreshed map — client-transparent
+    /// failover.
+    fn request_routed_write(
+        &self,
+        table: &str,
+        row: &[u8],
+        op: OpCode,
+        build: impl Fn(u64) -> Bytes,
+    ) -> Result<Bytes> {
+        let mut last = None;
+        for attempt in 0..self.inner.opts.max_attempts {
+            if attempt > 0 {
+                self.backoff(attempt - 1);
+            }
+            let target = self
+                .route_of(table, row)
+                .and_then(|(owner, epoch)| Ok((self.addr_of(owner)?, epoch)));
+            let (addr, epoch) = match target {
+                Ok(t) => t,
+                Err(e) if e.is_retryable() => {
+                    self.invalidate(table);
+                    last = Some(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            match self.exchange(&addr, op, &build(epoch), self.inner.opts.request_timeout) {
+                Ok(b) => return Ok(b),
+                Err(e) if e.is_retryable() => {
+                    if matches!(
+                        e,
+                        ClusterError::NotServing { .. }
+                            | ClusterError::ServerDown(_)
+                            | ClusterError::StaleEpoch { .. }
                     ) {
                         self.invalidate(table);
                     }
@@ -362,6 +438,15 @@ impl RemoteClient {
     pub fn ping(&self) -> Result<()> {
         self.request_any(OpCode::Ping, &[]).map(|_| ())
     }
+
+    /// Liveness probe against one specific server — the prober a
+    /// [`HealthMonitor`](diff_index_cluster::HealthMonitor) uses in net
+    /// mode. Single attempt, no retries: a probe must report the failure,
+    /// not mask it.
+    pub fn ping_server(&self, server: ServerId) -> Result<()> {
+        let addr = self.addr_of(server)?;
+        self.exchange(&addr, OpCode::Ping, &[], self.inner.opts.request_timeout).map(|_| ())
+    }
 }
 
 fn read_full(conn: &mut TcpStream, buf: &mut [u8], addr: &str) -> Result<()> {
@@ -406,9 +491,12 @@ fn expect_empty(body: &[u8]) -> Result<()> {
 
 impl Store for RemoteClient {
     fn put(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<u64> {
-        let mut w = BodyWriter::new();
-        w.str(table).bytes(row).columns(columns);
-        decode_u64(&self.request_routed(table, row, OpCode::Put, &w.finish())?)
+        let body = self.request_routed_write(table, row, OpCode::Put, |epoch| {
+            let mut w = BodyWriter::new();
+            w.str(table).bytes(row).columns(columns).u64(epoch);
+            w.finish()
+        })?;
+        decode_u64(&body)
     }
 
     fn put_batch(&self, table: &str, rows: &[(Bytes, Vec<ColumnValue>)]) -> Result<Vec<u64>> {
@@ -426,11 +514,11 @@ impl Store for RemoteClient {
             if attempt > 0 {
                 self.backoff(attempt - 1);
             }
-            let mut groups: HashMap<ServerId, Vec<usize>> = HashMap::new();
+            let mut groups: HashMap<ServerId, Vec<(usize, u64)>> = HashMap::new();
             let mut routing_failed = Vec::new();
             for &i in &pending {
-                match self.owner_of(table, &rows[i].0) {
-                    Ok(owner) => groups.entry(owner).or_default().push(i),
+                match self.route_of(table, &rows[i].0) {
+                    Ok((owner, epoch)) => groups.entry(owner).or_default().push((i, epoch)),
                     Err(e) if e.is_retryable() => {
                         self.invalidate(table);
                         last = Some(e);
@@ -443,8 +531,8 @@ impl Store for RemoteClient {
             for (owner, idxs) in groups {
                 let mut w = BodyWriter::new();
                 w.str(table).u32(idxs.len() as u32);
-                for &i in &idxs {
-                    w.bytes(&rows[i].0).columns(&rows[i].1);
+                for &(i, epoch) in &idxs {
+                    w.bytes(&rows[i].0).columns(&rows[i].1).u64(epoch);
                 }
                 let outcome = self
                     .addr_of(owner)
@@ -474,19 +562,21 @@ impl Store for RemoteClient {
                     });
                 match outcome {
                     Ok(ts) => {
-                        for (&i, t) in idxs.iter().zip(ts) {
+                        for (&(i, _), t) in idxs.iter().zip(ts) {
                             stamps[i] = t;
                         }
                     }
                     Err(e) if e.is_retryable() => {
                         if matches!(
                             e,
-                            ClusterError::NotServing { .. } | ClusterError::ServerDown(_)
+                            ClusterError::NotServing { .. }
+                                | ClusterError::ServerDown(_)
+                                | ClusterError::StaleEpoch { .. }
                         ) {
                             self.invalidate(table);
                         }
                         last = Some(e);
-                        still_pending.extend(idxs);
+                        still_pending.extend(idxs.iter().map(|&(i, _)| i));
                     }
                     Err(e) => return Err(e),
                 }
@@ -500,27 +590,39 @@ impl Store for RemoteClient {
     }
 
     fn put_returning(&self, table: &str, row: &[u8], columns: &[ColumnValue]) -> Result<PutOutcome> {
-        let mut w = BodyWriter::new();
-        w.str(table).bytes(row).columns(columns);
-        wire::decode_put_outcome(&self.request_routed(table, row, OpCode::PutReturning, &w.finish())?)
+        let body = self.request_routed_write(table, row, OpCode::PutReturning, |epoch| {
+            let mut w = BodyWriter::new();
+            w.str(table).bytes(row).columns(columns).u64(epoch);
+            w.finish()
+        })?;
+        wire::decode_put_outcome(&body)
     }
 
     fn delete(&self, table: &str, row: &[u8], columns: &[Bytes]) -> Result<u64> {
-        let mut w = BodyWriter::new();
-        w.str(table).bytes(row).names(columns);
-        decode_u64(&self.request_routed(table, row, OpCode::Delete, &w.finish())?)
+        let body = self.request_routed_write(table, row, OpCode::Delete, |epoch| {
+            let mut w = BodyWriter::new();
+            w.str(table).bytes(row).names(columns).u64(epoch);
+            w.finish()
+        })?;
+        decode_u64(&body)
     }
 
     fn raw_put(&self, table: &str, row: &[u8], columns: &[ColumnValue], ts: u64) -> Result<()> {
-        let mut w = BodyWriter::new();
-        w.str(table).bytes(row).columns(columns).u64(ts);
-        expect_empty(&self.request_routed(table, row, OpCode::RawPut, &w.finish())?)
+        let body = self.request_routed_write(table, row, OpCode::RawPut, |epoch| {
+            let mut w = BodyWriter::new();
+            w.str(table).bytes(row).columns(columns).u64(ts).u64(epoch);
+            w.finish()
+        })?;
+        expect_empty(&body)
     }
 
     fn raw_delete(&self, table: &str, row: &[u8], columns: &[Bytes], ts: u64) -> Result<()> {
-        let mut w = BodyWriter::new();
-        w.str(table).bytes(row).names(columns).u64(ts);
-        expect_empty(&self.request_routed(table, row, OpCode::RawDelete, &w.finish())?)
+        let body = self.request_routed_write(table, row, OpCode::RawDelete, |epoch| {
+            let mut w = BodyWriter::new();
+            w.str(table).bytes(row).names(columns).u64(ts).u64(epoch);
+            w.finish()
+        })?;
+        expect_empty(&body)
     }
 
     fn get(&self, table: &str, row: &[u8], column: &[u8], ts: u64) -> Result<Option<VersionedValue>> {

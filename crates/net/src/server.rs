@@ -446,6 +446,19 @@ fn check_owner(inner: &Inner, cluster: &Cluster, table: &str, row: &[u8]) -> Res
     Ok(())
 }
 
+/// Police a write's epoch stamp (after ownership). A stamp of `0` means
+/// "unstamped" — bootstrap writes and epoch-unaware callers skip fencing;
+/// region epochs start at 1, so 0 can never collide with a real epoch. Any
+/// other value must equal the region's current epoch or the write is fenced
+/// with [`ClusterError::StaleEpoch`] — the guard that makes a zombie's
+/// post-failover writes impossible to apply.
+fn check_epoch(cluster: &Cluster, table: &str, row: &[u8], stamped: u64) -> Result<()> {
+    if stamped == 0 {
+        return Ok(());
+    }
+    cluster.check_write_epoch(table, row, stamped)
+}
+
 fn index_err(e: IndexError) -> ClusterError {
     match e {
         IndexError::Cluster(c) => c,
@@ -464,6 +477,15 @@ fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
     match op {
         OpCode::Ping => {
             r.expect_end()?;
+            // A listener whose region server has been declared dead must
+            // fail its liveness probe: the TCP socket outliving the crash is
+            // exactly the zombie scenario, and answering "healthy" here
+            // would blind the master's failure detector.
+            if let Some(me) = inner.served_id {
+                if !cluster.is_alive(me) {
+                    return Err(ClusterError::ServerDown(me));
+                }
+            }
         }
         OpCode::Roster => {
             r.expect_end()?;
@@ -478,32 +500,41 @@ fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
             r.expect_end()?;
             let snap = cluster.partition_snapshot(&table)?;
             w.u32(snap.len() as u32);
-            for (start, region, server) in snap {
-                w.bytes(&start).u32(region).u32(server);
+            for (start, region, server, epoch) in snap {
+                w.bytes(&start).u32(region).u32(server).u64(epoch);
             }
         }
         OpCode::Put => {
             let table = r.str()?;
             let row = r.bytes()?;
             let cols = r.columns()?;
+            let epoch = r.u64()?;
             r.expect_end()?;
             check_owner(inner, cluster, &table, &row)?;
+            check_epoch(cluster, &table, &row, epoch)?;
             w.u64(cluster.put(&table, &row, &cols)?);
         }
         OpCode::PutBatch => {
             let table = r.str()?;
             let n = r.count()?;
             let mut rows = Vec::with_capacity(n);
+            let mut epochs = Vec::with_capacity(n);
             for _ in 0..n {
                 let row = r.bytes()?;
                 let cols = r.columns()?;
+                let epoch = r.u64()?;
                 rows.push((row, cols));
+                epochs.push(epoch);
             }
             r.expect_end()?;
-            // Police the whole batch before applying any of it, so a
-            // misrouted batch is rejected atomically.
+            // Police the whole batch (ownership, then epochs) before
+            // applying any of it, so a misrouted or fenced batch is rejected
+            // atomically.
             for (row, _) in &rows {
                 check_owner(inner, cluster, &table, row)?;
+            }
+            for ((row, _), epoch) in rows.iter().zip(&epochs) {
+                check_epoch(cluster, &table, row, *epoch)?;
             }
             let stamps = cluster.put_batch(&table, &rows)?;
             w.u32(stamps.len() as u32);
@@ -515,8 +546,10 @@ fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
             let table = r.str()?;
             let row = r.bytes()?;
             let cols = r.columns()?;
+            let epoch = r.u64()?;
             r.expect_end()?;
             check_owner(inner, cluster, &table, &row)?;
+            check_epoch(cluster, &table, &row, epoch)?;
             let outcome = cluster.put_returning(&table, &row, &cols)?;
             return Ok(wire::encode_put_outcome(&outcome));
         }
@@ -524,8 +557,10 @@ fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
             let table = r.str()?;
             let row = r.bytes()?;
             let cols = r.names()?;
+            let epoch = r.u64()?;
             r.expect_end()?;
             check_owner(inner, cluster, &table, &row)?;
+            check_epoch(cluster, &table, &row, epoch)?;
             w.u64(cluster.delete(&table, &row, &cols)?);
         }
         OpCode::RawPut => {
@@ -533,8 +568,10 @@ fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
             let row = r.bytes()?;
             let cols = r.columns()?;
             let ts = r.u64()?;
+            let epoch = r.u64()?;
             r.expect_end()?;
             check_owner(inner, cluster, &table, &row)?;
+            check_epoch(cluster, &table, &row, epoch)?;
             cluster.raw_put(&table, &row, &cols, ts)?;
         }
         OpCode::RawDelete => {
@@ -542,8 +579,10 @@ fn handle(inner: &Inner, op: OpCode, body: &[u8]) -> Result<Bytes> {
             let row = r.bytes()?;
             let cols = r.names()?;
             let ts = r.u64()?;
+            let epoch = r.u64()?;
             r.expect_end()?;
             check_owner(inner, cluster, &table, &row)?;
+            check_epoch(cluster, &table, &row, epoch)?;
             cluster.raw_delete(&table, &row, &cols, ts)?;
         }
         OpCode::Get => {

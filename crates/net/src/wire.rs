@@ -51,7 +51,8 @@ pub enum OpCode {
     Ping = 0x01,
     /// Fetch the server roster: `(server_id, addr)` pairs.
     Roster = 0x02,
-    /// Fetch a table's partition map: `(region_start, region_id, server_id)`.
+    /// Fetch a table's partition map:
+    /// `(region_start, region_id, server_id, epoch)`.
     PartitionMap = 0x03,
     /// Client put (observers run).
     Put = 0x10,
@@ -490,6 +491,9 @@ pub fn encode_error(e: &ClusterError) -> Bytes {
         ClusterError::Storage(e) => {
             w.u8(7).str(&format!("storage: {e}"));
         }
+        ClusterError::StaleEpoch { owner, epoch } => {
+            w.u8(8).u32(*owner).u64(*epoch);
+        }
     }
     w.finish()
 }
@@ -506,6 +510,7 @@ pub fn decode_error(body: &[u8]) -> ClusterError {
             5 => ClusterError::Io(r.str()?),
             6 => ClusterError::Protocol(r.str()?),
             7 => ClusterError::Unavailable(r.str()?),
+            8 => ClusterError::StaleEpoch { owner: r.u32()?, epoch: r.u64()? },
             c => return Err(ClusterError::Protocol(format!("unknown error code {c}"))),
         };
         r.expect_end()?;
@@ -654,6 +659,7 @@ mod tests {
             ClusterError::Io("reset".into()),
             ClusterError::Protocol("bad".into()),
             ClusterError::Unavailable("u".into()),
+            ClusterError::StaleEpoch { owner: 2, epoch: 9 },
         ];
         for e in errors {
             let decoded = decode_error(&encode_error(&e));

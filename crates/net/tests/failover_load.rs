@@ -1,0 +1,157 @@
+//! Failover under load: concurrent writers hammer the store while a region
+//! server dies mid-run and the master's health monitor — running in its
+//! background-thread mode, no explicit `recover()` anywhere — detects the
+//! death and heals the cluster. Every scheme must come out clean: every
+//! acked write readable with its final value, the index in agreement with
+//! the base, and no async task dropped.
+//!
+//! Writers retry each value until it acks, so retries are idempotent
+//! (§4.3: the index entry key is a function of row and value) and the
+//! final value of every row is deterministic despite the outage window.
+//! One scheme runs over the wire (`RemoteClient` → loopback TCP), where
+//! detection uses the real `Ping` probe and client failover must absorb
+//! `ServerDown`/`NotServing`/`StaleEpoch` transparently.
+
+use bytes::Bytes;
+use diff_index_cluster::{Cluster, ClusterOptions, HealthMonitor, HealthOptions};
+use diff_index_core::{verify_index, DiffIndex, IndexScheme, IndexSpec, Store};
+use diff_index_net::{RemoteClient, ServerGroup};
+use std::sync::Arc;
+use std::time::Duration;
+
+const WRITERS: usize = 4;
+const ROWS_PER_WRITER: usize = 8;
+const VALUES: usize = 6;
+
+fn run_scheme(scheme: IndexScheme, net: bool) {
+    let dir = tempdir_lite::TempDir::new("failover-load").unwrap();
+    let cluster =
+        Cluster::new(dir.path(), ClusterOptions { num_servers: 3, ..ClusterOptions::default() })
+            .unwrap();
+    cluster.create_table("item", 6).unwrap();
+    let di = DiffIndex::new(cluster.clone());
+    let handle = di.create_index(IndexSpec::single("by_c", "item", "c", scheme), 4).unwrap();
+    let spec = handle.spec.clone();
+
+    let mut group = None;
+    let mut client = None;
+    let store: Arc<dyn Store> = if net {
+        let g = ServerGroup::start(&di).unwrap();
+        let c = RemoteClient::connect_default(g.addrs()).unwrap();
+        group = Some(g);
+        client = Some(c.clone());
+        Arc::new(c)
+    } else {
+        Arc::new(cluster.clone())
+    };
+
+    let monitor = HealthMonitor::new(
+        &cluster,
+        HealthOptions { suspect_after: 1, dead_after: 2, probe_interval: Duration::from_millis(2) },
+    );
+    if let Some(c) = &client {
+        let probe = c.clone();
+        monitor.set_probe(Box::new(move |sid| probe.ping_server(sid).is_ok()));
+    }
+    monitor.start();
+
+    let mut writers = Vec::new();
+    for w in 0..WRITERS {
+        let store = Arc::clone(&store);
+        writers.push(std::thread::spawn(move || {
+            let mut acked: Vec<(String, String)> = Vec::new();
+            for r in 0..ROWS_PER_WRITER {
+                let row = format!("w{w}-row{r}");
+                for v in 0..VALUES {
+                    let val = format!("v{v}");
+                    let mut attempts = 0u32;
+                    loop {
+                        let res = store.put(
+                            "item",
+                            row.as_bytes(),
+                            &[(Bytes::from("c"), Bytes::from(val.clone()))],
+                        );
+                        match res {
+                            Ok(_) => break,
+                            Err(e) => {
+                                attempts += 1;
+                                assert!(
+                                    attempts < 5000,
+                                    "write {row}={val} never acked (healing stuck?): {e}"
+                                );
+                                std::thread::sleep(Duration::from_millis(1));
+                            }
+                        }
+                    }
+                }
+                acked.push((row, format!("v{}", VALUES - 1)));
+            }
+            acked
+        }));
+    }
+
+    // Kill a server while the writers are mid-flight. Nobody calls
+    // recover(): the monitor's probe thread must notice and heal. Writers
+    // whose rows lived on the victim spin on retries until it does.
+    std::thread::sleep(Duration::from_millis(2));
+    cluster.crash_server(1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while monitor.metrics().auto_recoveries == 0 {
+        assert!(std::time::Instant::now() < deadline, "monitor never healed the crash");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let acked: Vec<(String, String)> =
+        writers.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    monitor.shutdown();
+    let metrics = monitor.metrics();
+    assert!(metrics.deaths >= 1, "the crash was never detected: {metrics:?}");
+    assert!(metrics.auto_recoveries >= 1, "detection never healed: {metrics:?}");
+
+    di.quiesce("item");
+
+    // Every acked write must be readable with its final value.
+    assert_eq!(acked.len(), WRITERS * ROWS_PER_WRITER);
+    for (row, val) in &acked {
+        let got = store
+            .get("item", row.as_bytes(), b"c", u64::MAX)
+            .unwrap_or_else(|e| panic!("read of {row} failed post-heal: {e}"))
+            .unwrap_or_else(|| panic!("acked row {row} lost across failover"));
+        assert_eq!(got.value, Bytes::from(val.clone()), "row {row} lost its final write");
+    }
+
+    // Index/base agreement: nothing missing under any scheme; nothing stale
+    // except under sync-insert, which cleans lazily by design.
+    let report = verify_index(store.as_ref(), &spec).unwrap();
+    assert_eq!(report.missing_count(), 0, "missing index entries: {report:?}");
+    if scheme != IndexScheme::SyncInsert {
+        assert_eq!(report.stale_count(), 0, "stale index entries: {report:?}");
+    }
+    if let Some(auq) = handle.try_auq() {
+        let dropped = auq.metrics().dropped.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(dropped, 0, "AUQ dropped {dropped} task(s) across the failover");
+    }
+    if let Some(g) = group {
+        g.shutdown();
+    }
+}
+
+#[test]
+fn sync_full_survives_failover_under_load() {
+    run_scheme(IndexScheme::SyncFull, false);
+}
+
+#[test]
+fn sync_insert_survives_failover_under_load() {
+    run_scheme(IndexScheme::SyncInsert, false);
+}
+
+#[test]
+fn async_simple_survives_failover_under_load_over_the_wire() {
+    run_scheme(IndexScheme::AsyncSimple, true);
+}
+
+#[test]
+fn async_session_survives_failover_under_load() {
+    run_scheme(IndexScheme::AsyncSession, false);
+}

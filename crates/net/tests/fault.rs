@@ -107,6 +107,9 @@ fn stale_partition_map_is_refreshed_on_not_serving() {
 fn encode_put(table: &str, row: &[u8], val: &str) -> Bytes {
     let mut w = BodyWriter::new();
     w.str(table).bytes(row).u32(1).bytes(b"title").bytes(val.as_bytes());
+    // Epoch stamp 0 = unstamped: these raw-frame tests exercise framing and
+    // ownership, not fencing.
+    w.u64(0);
     w.finish()
 }
 
